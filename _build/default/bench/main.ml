@@ -1,0 +1,41 @@
+(* Benchmark entry point: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md section 4 for the index).
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --only fig8a -- one experiment
+     dune exec bench/main.exe -- --list       -- list experiment ids
+     SATE_BENCH_FULL=1 dune exec bench/main.exe -- full-scale variants *)
+
+let () =
+  let only = ref [] in
+  let list_only = ref false in
+  let skip_micro = ref false in
+  let spec =
+    [ ("--only", Arg.String (fun s -> only := s :: !only),
+       "ID run only the experiment with this id (repeatable)");
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+      ("--no-micro", Arg.Set skip_micro, " skip the bechamel micro-benchmarks") ]
+  in
+  Arg.parse spec (fun s -> only := s :: !only) "sate bench";
+  if !list_only then begin
+    List.iter (fun (id, _) -> print_endline id) Experiments.all;
+    print_endline "micro"
+  end
+  else begin
+    let selected =
+      match !only with
+      | [] -> Experiments.all
+      | ids -> List.filter (fun (id, _) -> List.mem id ids) Experiments.all
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (id, f) ->
+        let t = Unix.gettimeofday () in
+        f ();
+        Printf.printf "--- %s done in %.1f s\n%!" id (Unix.gettimeofday () -. t))
+      selected;
+    if (not !skip_micro) && (!only = [] || List.mem "micro" !only) then
+      Micro.run ();
+    Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  end

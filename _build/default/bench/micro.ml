@@ -1,0 +1,52 @@
+(* Bechamel micro-benchmarks of the TE computation kernels: one
+   Test.make per method (the latency quantity behind Table-style
+   results of Fig. 8) plus the hot tensor kernels. *)
+
+open Bechamel
+module Model = Sate_gnn.Model
+module Te_graph = Sate_gnn.Te_graph
+module Tensor = Sate_tensor.Tensor
+module Scenario = Sate_core.Scenario
+
+let tests () =
+  let s =
+    Scenario.create
+      ~config:{ Scenario.default_config with Scenario.lambda = 6.0; warmup_s = 30.0 }
+      ()
+  in
+  let inst = Scenario.instance_at s ~time_s:0.0 in
+  let model = Model.create ~seed:1 () in
+  let graph = Te_graph.of_instance inst in
+  let a = Tensor.xavier (Sate_util.Rng.create 1) 64 64 in
+  let b = Tensor.xavier (Sate_util.Rng.create 2) 64 64 in
+  Test.make_grouped ~name:"te" ~fmt:"%s/%s"
+    [ Test.make ~name:"sate-inference" (Staged.stage (fun () -> Model.forward model graph));
+      Test.make ~name:"sate-end-to-end" (Staged.stage (fun () -> Model.predict model inst));
+      Test.make ~name:"lp-optimal" (Staged.stage (fun () -> Sate_te.Lp_solver.solve inst));
+      Test.make ~name:"ecmp-wf" (Staged.stage (fun () -> Sate_baselines.Ecmp_wf.solve inst));
+      Test.make ~name:"satellite-routing"
+        (Staged.stage (fun () -> Sate_baselines.Satellite_routing.solve inst));
+      Test.make ~name:"graph-build" (Staged.stage (fun () -> Te_graph.of_instance inst));
+      Test.make ~name:"matmul-64" (Staged.stage (fun () -> Tensor.matmul a b)) ]
+
+let run () =
+  print_endline "\n=== micro: bechamel kernel benchmarks (ns/run) ===";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> (name, est) :: acc
+        | Some [] | None -> acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "micro %-28s %12.1f ns  (%.3f ms)\n" name ns (ns /. 1e6))
+    rows

@@ -1,0 +1,1 @@
+examples/failure_study.ml: Array Float List Printf Sate_core Sate_gnn Sate_paths Sate_te Sate_topology Sate_traffic Sate_util

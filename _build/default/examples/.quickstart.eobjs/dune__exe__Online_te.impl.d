@@ -1,0 +1,1 @@
+examples/online_te.ml: List Printf Sate_core Sate_gnn

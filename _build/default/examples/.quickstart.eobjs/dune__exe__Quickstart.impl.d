@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Sate_core Sate_gnn Sate_te

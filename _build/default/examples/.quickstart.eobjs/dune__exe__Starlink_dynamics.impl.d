@@ -1,0 +1,1 @@
+examples/starlink_dynamics.ml: Array Fun List Option Printf Sate_orbit Sate_paths Sate_topology Sate_util

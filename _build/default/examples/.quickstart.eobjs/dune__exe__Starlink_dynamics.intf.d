@@ -1,0 +1,1 @@
+examples/starlink_dynamics.mli:

@@ -1,0 +1,1 @@
+lib/baselines/ecmp_wf.ml: Filling Sate_te

@@ -1,0 +1,1 @@
+lib/baselines/ecmp_wf.mli: Sate_te

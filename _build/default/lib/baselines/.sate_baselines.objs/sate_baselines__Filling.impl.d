@@ -1,0 +1,1 @@
+lib/baselines/filling.ml: Array Float Fun List Sate_paths Sate_te Sate_topology

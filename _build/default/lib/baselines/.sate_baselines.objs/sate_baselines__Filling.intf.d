@@ -1,0 +1,1 @@
+lib/baselines/filling.mli: Sate_te

@@ -1,0 +1,1 @@
+lib/baselines/harp_like.ml: Array List Sate_gnn Sate_nn Sate_te Sate_tensor Sate_util Tensor Unix

@@ -1,0 +1,1 @@
+lib/baselines/harp_like.mli: Sate_gnn Sate_te

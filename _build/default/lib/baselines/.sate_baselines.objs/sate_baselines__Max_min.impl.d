@@ -1,0 +1,1 @@
+lib/baselines/max_min.ml: Filling

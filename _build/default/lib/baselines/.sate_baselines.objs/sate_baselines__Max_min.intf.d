@@ -1,0 +1,1 @@
+lib/baselines/max_min.mli: Sate_te

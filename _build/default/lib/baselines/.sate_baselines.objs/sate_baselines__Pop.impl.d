@@ -1,0 +1,1 @@
+lib/baselines/pop.ml: Array Float Fun List Sate_te Sate_topology Sate_util Unix

@@ -1,0 +1,1 @@
+lib/baselines/pop.mli: Sate_te

@@ -1,0 +1,1 @@
+lib/baselines/satellite_routing.ml: Array Sate_paths Sate_te Sate_util

@@ -1,0 +1,1 @@
+lib/baselines/satellite_routing.mli: Sate_te

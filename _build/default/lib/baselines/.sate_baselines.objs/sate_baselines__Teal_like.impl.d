@@ -1,0 +1,1 @@
+lib/baselines/teal_like.ml: Array List Printf Sate_nn Sate_paths Sate_te Sate_tensor Sate_topology Sate_util Tensor Unix

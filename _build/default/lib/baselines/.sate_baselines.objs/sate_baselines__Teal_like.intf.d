@@ -1,0 +1,1 @@
+lib/baselines/teal_like.mli: Sate_te

@@ -1,0 +1,4 @@
+module Instance = Sate_te.Instance
+
+let solve (inst : Instance.t) =
+  Filling.solve ~path_choice:Filling.min_hop_paths inst

@@ -1,0 +1,12 @@
+(** ECMP with water filling [35] (B4's allocation scheme).
+
+    Each commodity spreads equally over its minimum-hop candidate
+    paths; allocations rise uniformly (progressive filling) until a
+    path hits a saturated link or the commodity's demand is met.
+    Saturated paths freeze; filling continues on the rest.  This is
+    the best-performing throughput heuristic baseline in Fig. 8a /
+    Fig. 10. *)
+
+val solve : Sate_te.Instance.t -> Sate_te.Allocation.t
+(** Feasible allocation (no trimming required by construction, but
+    the result also passes {!Sate_te.Allocation.is_feasible}). *)

@@ -1,0 +1,115 @@
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+module Snapshot = Sate_topology.Snapshot
+module Link = Sate_topology.Link
+
+let eps = 1e-9
+
+let solve ~path_choice (inst : Instance.t) =
+  let alloc = Allocation.zeros inst in
+  let commodities = inst.Instance.commodities in
+  let nc = Array.length commodities in
+  let links = inst.Instance.snapshot.Snapshot.links in
+  let headroom = Array.map (fun l -> l.Link.capacity_mbps) links in
+  let up_room = Array.copy inst.Instance.up_caps in
+  let down_room = Array.copy inst.Instance.down_caps in
+  let remaining = Array.map (fun c -> c.Instance.demand_mbps) commodities in
+  let active_paths = Array.map path_choice commodities in
+  let active = Array.map (fun ps -> ps <> [] ) active_paths in
+  Array.iteri (fun f r -> if r <= eps then active.(f) <- false) remaining;
+  let any_active () = Array.exists Fun.id active in
+  let guard = ref (Array.length links + Array.length (Allocation.zeros inst) + nc * 4 + 16) in
+  while any_active () && !guard > 0 do
+    decr guard;
+    (* Per-unit-increment load coefficient on every resource. *)
+    let link_coeff = Array.make (Array.length links) 0.0 in
+    let up_coeff = Array.make (Array.length up_room) 0.0 in
+    let down_coeff = Array.make (Array.length down_room) 0.0 in
+    Array.iteri
+      (fun f (c : Instance.commodity) ->
+        if active.(f) then begin
+          let share = 1.0 /. float_of_int (List.length active_paths.(f)) in
+          List.iter
+            (fun p ->
+              Array.iter
+                (fun li -> link_coeff.(li) <- link_coeff.(li) +. share)
+                c.Instance.path_links.(p))
+            active_paths.(f);
+          up_coeff.(c.Instance.src) <- up_coeff.(c.Instance.src) +. 1.0;
+          down_coeff.(c.Instance.dst) <- down_coeff.(c.Instance.dst) +. 1.0
+        end)
+      commodities;
+    (* Largest uniform increment before something saturates. *)
+    let t = ref Float.infinity in
+    Array.iteri
+      (fun li coeff -> if coeff > eps then t := Float.min !t (headroom.(li) /. coeff))
+      link_coeff;
+    Array.iteri
+      (fun node coeff ->
+        if coeff > eps && Float.is_finite up_room.(node) then
+          t := Float.min !t (up_room.(node) /. coeff))
+      up_coeff;
+    Array.iteri
+      (fun node coeff ->
+        if coeff > eps && Float.is_finite down_room.(node) then
+          t := Float.min !t (down_room.(node) /. coeff))
+      down_coeff;
+    Array.iteri (fun f r -> if active.(f) then t := Float.min !t r) remaining;
+    let t = if Float.is_finite !t then Float.max 0.0 !t else 0.0 in
+    (* Apply the increment. *)
+    Array.iteri
+      (fun f (c : Instance.commodity) ->
+        if active.(f) then begin
+          let share = t /. float_of_int (List.length active_paths.(f)) in
+          List.iter
+            (fun p ->
+              alloc.(f).(p) <- alloc.(f).(p) +. share;
+              Array.iter
+                (fun li -> headroom.(li) <- headroom.(li) -. share)
+                c.Instance.path_links.(p))
+            active_paths.(f);
+          up_room.(c.Instance.src) <- up_room.(c.Instance.src) -. t;
+          down_room.(c.Instance.dst) <- down_room.(c.Instance.dst) -. t;
+          remaining.(f) <- remaining.(f) -. t
+        end)
+      commodities;
+    (* Freeze saturated paths and satisfied/blocked commodities. *)
+    Array.iteri
+      (fun f (c : Instance.commodity) ->
+        if active.(f) then begin
+          if remaining.(f) <= eps then active.(f) <- false
+          else begin
+            active_paths.(f) <-
+              List.filter
+                (fun p ->
+                  Array.for_all
+                    (fun li -> headroom.(li) > eps)
+                    c.Instance.path_links.(p))
+                active_paths.(f);
+            if
+              active_paths.(f) = []
+              || up_room.(c.Instance.src) <= eps
+              || down_room.(c.Instance.dst) <= eps
+            then active.(f) <- false
+          end
+        end)
+      commodities
+  done;
+  (* Numerical safety: never hand out an infeasible allocation. *)
+  if Allocation.is_feasible inst alloc then alloc else Allocation.trim inst alloc
+
+let min_hop_paths (c : Instance.commodity) =
+  if Array.length c.Instance.paths = 0 then []
+  else begin
+    let min_hops =
+      Array.fold_left
+        (fun acc p -> min acc (Sate_paths.Path.hops p))
+        max_int c.Instance.paths
+    in
+    List.filter
+      (fun p -> Sate_paths.Path.hops c.Instance.paths.(p) = min_hops)
+      (List.init (Array.length c.Instance.paths) Fun.id)
+  end
+
+let all_paths (c : Instance.commodity) =
+  List.init (Array.length c.Instance.paths) Fun.id

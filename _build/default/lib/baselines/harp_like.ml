@@ -1,0 +1,118 @@
+open Sate_tensor
+module A = Sate_nn.Autodiff
+module Layers = Sate_nn.Layers
+module Optimizer = Sate_nn.Optimizer
+module Rng = Sate_util.Rng
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+module Model = Sate_gnn.Model
+module Te_graph = Sate_gnn.Te_graph
+module Gat = Sate_gnn.Gat
+
+type t = {
+  base : Model.t;
+  lift : Layers.linear; (* ratio -> embedding for the transformer stage *)
+  path_attention : Gat.t;
+  readout : Layers.linear;
+  dim : int;
+}
+
+let create ?(hyper = Model.default_hyper) ?(seed = 13) () =
+  let rng = Rng.create (seed + 1000) in
+  { base = Model.create ~hyper ~seed ();
+    lift = Layers.linear rng ~in_dim:1 ~out_dim:hyper.Model.dim;
+    path_attention = Gat.create rng ~dim:hyper.Model.dim ~heads:hyper.Model.heads;
+    readout = Layers.linear rng ~in_dim:hyper.Model.dim ~out_dim:1;
+    dim = hyper.Model.dim }
+
+let params t =
+  Model.params t.base
+  @ Layers.linear_params t.lift
+  @ Gat.params t.path_attention
+  @ Layers.linear_params t.readout
+
+let num_parameters t = Layers.num_parameters (params t)
+
+(* Edge-path transformer stage: dense attention among paths sharing a
+   link.  The pair count grows with path density per link — the
+   size-dependent cost the paper attributes to HARP. *)
+let max_paths_per_link = 16
+
+let path_pair_edges (g : Te_graph.t) =
+  let n_links = Array.length g.Te_graph.link_caps in
+  let per_link = Array.make n_links [] in
+  Array.iteri
+    (fun i p ->
+      let l = g.Te_graph.incidence_link.(i) in
+      if List.length per_link.(l) < max_paths_per_link then
+        per_link.(l) <- p :: per_link.(l))
+    g.Te_graph.incidence_path;
+  let src = ref [] and dst = ref [] and feat = ref [] in
+  Array.iteri
+    (fun l paths ->
+      let cap = g.Te_graph.link_caps.(l) /. 200.0 in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun q ->
+              if p <> q then begin
+                src := p :: !src;
+                dst := q :: !dst;
+                feat := cap :: !feat
+              end)
+            paths)
+        paths)
+    per_link;
+  { Te_graph.src = Array.of_list !src;
+    dst = Array.of_list !dst;
+    feat = Tensor.of_column (Array.of_list !feat) }
+
+let forward t (g : Te_graph.t) =
+  let base_ratios = Model.forward t.base g in
+  if g.Te_graph.num_paths = 0 then base_ratios
+  else begin
+    let x = Layers.forward_linear t.lift base_ratios in
+    let edges = path_pair_edges g in
+    let x' = A.add x (Gat.forward t.path_attention ~x_src:x ~x_dst:x ~edges) in
+    A.sigmoid (Layers.forward_linear t.readout x')
+  end
+
+let train ?(epochs = 20) ?(lr = 2e-3) t instances =
+  let t0 = Unix.gettimeofday () in
+  let samples =
+    List.map
+      (fun inst ->
+        let label = Sate_te.Lp_solver.solve ~objective:Sate_te.Lp_solver.Min_mlu inst in
+        ( Te_graph.of_instance inst,
+          Sate_gnn.Loss.label_ratios_of_alloc inst label ))
+      instances
+  in
+  let opt = Optimizer.adam ~lr (params t) in
+  for _ = 1 to epochs do
+    List.iter
+      (fun (g, labels) ->
+        if g.Te_graph.num_paths > 0 then begin
+          let pred = forward t g in
+          let loss = A.mean (A.square (A.sub pred (A.const labels))) in
+          A.backward loss;
+          Optimizer.step opt
+        end)
+      samples
+  done;
+  Unix.gettimeofday () -. t0
+
+let predict t (inst : Instance.t) =
+  let g = Te_graph.of_instance inst in
+  let ratios = forward t g in
+  let alloc = Allocation.zeros inst in
+  let p = ref 0 in
+  Array.iteri
+    (fun f rates ->
+      let demand = inst.Instance.commodities.(f).Instance.demand_mbps in
+      Array.iteri
+        (fun pi _ ->
+          rates.(pi) <- demand *. Tensor.get ratios.A.value !p 0;
+          incr p)
+        rates)
+    alloc;
+  Allocation.trim inst alloc

@@ -1,0 +1,30 @@
+(** HARP-like learning baseline [2].
+
+    Architectural stand-in for HARP (SIGCOMM '24): a GNN TE model for
+    changing topologies whose distinguishing component is an
+    edge-path embedding transformer — dense attention among paths that
+    share links.  That stage reproduces the two properties the paper
+    leans on:
+
+    - per-inference cost grows with network size (the pairwise
+      path-interaction count grows with path density per link),
+      giving HARP its ~4x latency gap versus SaTE (Fig. 8a);
+    - the model is trained for MLU minimisation (its native
+      objective, Fig. 15a) and is "not inherently adaptable to
+      throughput maximisation" — throughput readings come from the
+      same MLU-trained model. *)
+
+type t
+
+val create : ?hyper:Sate_gnn.Model.hyper -> ?seed:int -> unit -> t
+
+val num_parameters : t -> int
+
+val train :
+  ?epochs:int -> ?lr:float -> t -> Sate_te.Instance.t list -> float
+(** Supervised training against MLU-optimal LP labels; returns
+    wall-clock seconds. *)
+
+val predict : t -> Sate_te.Instance.t -> Sate_te.Allocation.t
+(** Trimmed allocation (generalises across topologies like any GNN,
+    but allocates for MLU, not throughput). *)

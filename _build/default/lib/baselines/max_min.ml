@@ -1,0 +1,1 @@
+let solve inst = Filling.solve ~path_choice:Filling.all_paths inst

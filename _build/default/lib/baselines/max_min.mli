@@ -1,0 +1,11 @@
+(** Max-min fair allocation (the fairness mechanism discussed in
+    Appendix H.4 and Sec. 5.4 as a remedy for partially served
+    flows).
+
+    Progressive filling over {e all} candidate paths: every unfrozen
+    commodity's rate rises at the same speed until a resource
+    saturates, so no commodity can gain without taking from an equal
+    or poorer one — the classical max-min fixed point restricted to
+    the preconfigured path sets. *)
+
+val solve : Sate_te.Instance.t -> Sate_te.Allocation.t

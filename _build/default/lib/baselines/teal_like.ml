@@ -1,0 +1,115 @@
+open Sate_tensor
+module A = Sate_nn.Autodiff
+module Layers = Sate_nn.Layers
+module Optimizer = Sate_nn.Optimizer
+module Rng = Sate_util.Rng
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+
+type t = {
+  num_sats : int;
+  k : int;
+  encoder : Layers.linear;
+  allocator : Layers.linear;
+  hidden : int;
+}
+
+let create ?(hidden = 8) ?(seed = 5) ~num_sats ~k () =
+  let rng = Rng.create seed in
+  let in_dim = num_sats * num_sats * (1 + k) in
+  let out_dim = num_sats * num_sats * k in
+  { num_sats;
+    k;
+    hidden;
+    encoder = Layers.linear rng ~in_dim ~out_dim:hidden;
+    allocator = Layers.linear rng ~in_dim:hidden ~out_dim }
+
+let input_volume_bytes t = t.num_sats * t.num_sats * (1 + t.k) * 8
+
+let params t = Layers.linear_params t.encoder @ Layers.linear_params t.allocator
+
+let num_parameters t = Layers.num_parameters (params t)
+
+let pair_index t src dst = (src * t.num_sats) + dst
+
+(* Dense input: per ordered pair, demand followed by k path-length
+   features.  This is the fixed-size structure that blocks pruning. *)
+let dense_input t (inst : Instance.t) =
+  let stride = 1 + t.k in
+  let input = Tensor.create 1 (t.num_sats * t.num_sats * stride) in
+  Array.iter
+    (fun (c : Instance.commodity) ->
+      let base = pair_index t c.Instance.src c.Instance.dst * stride in
+      input.Tensor.data.(base) <- c.Instance.demand_mbps /. 100.0;
+      Array.iteri
+        (fun p path ->
+          if p < t.k then
+            input.Tensor.data.(base + 1 + p) <-
+              float_of_int (Sate_paths.Path.hops path) /. 10.0)
+        c.Instance.paths)
+    inst.Instance.commodities;
+  input
+
+let dense_labels t (inst : Instance.t) alloc =
+  let out = Tensor.create 1 (t.num_sats * t.num_sats * t.k) in
+  Array.iteri
+    (fun f (c : Instance.commodity) ->
+      let base = pair_index t c.Instance.src c.Instance.dst * t.k in
+      Array.iteri
+        (fun p r ->
+          if p < t.k && c.Instance.demand_mbps > 0.0 then
+            out.Tensor.data.(base + p) <- r /. c.Instance.demand_mbps)
+        alloc.(f))
+    inst.Instance.commodities;
+  out
+
+let forward t input =
+  let h = A.leaky_relu (Layers.forward_linear t.encoder input) in
+  A.sigmoid (Layers.forward_linear t.allocator h)
+
+let check_scale t (inst : Instance.t) =
+  let n = inst.Instance.snapshot.Sate_topology.Snapshot.num_sats in
+  if n <> t.num_sats then
+    invalid_arg
+      (Printf.sprintf
+         "Teal_like: model trained for %d satellites applied to %d (fixed-size DNN \
+          cannot transfer)"
+         t.num_sats n)
+
+let train ?(epochs = 20) ?(lr = 2e-3) t instances =
+  let t0 = Unix.gettimeofday () in
+  List.iter (check_scale t) instances;
+  let samples =
+    List.map
+      (fun inst ->
+        let label = Sate_te.Lp_solver.solve inst in
+        (dense_input t inst, dense_labels t inst label))
+      instances
+  in
+  let opt = Optimizer.adam ~lr (params t) in
+  for _ = 1 to epochs do
+    List.iter
+      (fun (input, label) ->
+        let pred = forward t (A.const input) in
+        let loss = A.mean (A.square (A.sub pred (A.const label))) in
+        A.backward loss;
+        Optimizer.step opt)
+      samples
+  done;
+  Unix.gettimeofday () -. t0
+
+let predict t (inst : Instance.t) =
+  check_scale t inst;
+  let pred = forward t (A.const (dense_input t inst)) in
+  let alloc = Allocation.zeros inst in
+  Array.iteri
+    (fun f (c : Instance.commodity) ->
+      let base = pair_index t c.Instance.src c.Instance.dst * t.k in
+      Array.iteri
+        (fun p _ ->
+          if p < t.k then
+            alloc.(f).(p) <-
+              c.Instance.demand_mbps *. pred.A.value.Tensor.data.(base + p))
+        alloc.(f))
+    inst.Instance.commodities;
+  Allocation.trim inst alloc

@@ -1,0 +1,38 @@
+(** Teal-like learning baseline [78].
+
+    Architectural stand-in for Teal: a shared encoder feeding a
+    {e fixed-size, position-specific} DNN allocator over {e all}
+    ordered satellite pairs.  It reproduces the properties the paper's
+    comparisons rest on:
+
+    - the input is the dense [n^2 x (1 + k)] pair grid (demand plus k
+      candidate-path features), so it cannot be pruned — input volume
+      and inference cost grow with n^2 regardless of traffic sparsity
+      ({!input_volume_bytes}, Fig. 8a);
+    - the allocator's weights are tied to the pair/path ordering of
+      the topology it was trained on, so a trained model does not
+      transfer to unseen topologies (Sec. 2.4);
+    - training cost grows quickly with scale (Fig. 9a).
+
+    Following the paper, models are trained on a single static
+    topology and only at scales where the dense input fits memory. *)
+
+type t
+
+val create : ?hidden:int -> ?seed:int -> num_sats:int -> k:int -> unit -> t
+(** [hidden] defaults to 8 (scaled to CPU budgets). *)
+
+val input_volume_bytes : t -> int
+(** Dense per-data-point input size (the 263 GB problem of Sec. 2.4,
+    at this scale). *)
+
+val num_parameters : t -> int
+
+val train :
+  ?epochs:int -> ?lr:float -> t -> Sate_te.Instance.t list -> float
+(** Supervised training against LP labels on the dense grid; returns
+    wall-clock seconds. *)
+
+val predict : t -> Sate_te.Instance.t -> Sate_te.Allocation.t
+(** Trimmed allocation.  Raises [Invalid_argument] if the instance's
+    satellite count differs from the trained scale. *)

@@ -1,0 +1,1 @@
+lib/core/control_plane.ml: Array Float List Sate_geo Sate_paths Sate_te Sate_topology Sate_util

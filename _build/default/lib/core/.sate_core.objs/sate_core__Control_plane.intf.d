@@ -1,0 +1,1 @@
+lib/core/control_plane.mli: Sate_geo Sate_te Sate_topology

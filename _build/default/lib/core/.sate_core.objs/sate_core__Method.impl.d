@@ -1,0 +1,1 @@
+lib/core/method.ml: Printf Sate_baselines Sate_gnn Sate_te Unix

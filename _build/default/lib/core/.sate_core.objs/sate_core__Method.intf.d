@@ -1,0 +1,1 @@
+lib/core/method.mli: Sate_baselines Sate_gnn Sate_te

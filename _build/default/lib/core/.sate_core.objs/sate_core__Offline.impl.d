@@ -1,0 +1,1 @@
+lib/core/offline.ml: List Method Sate_gnn Sate_te

@@ -1,0 +1,1 @@
+lib/core/offline.mli: Method Sate_te

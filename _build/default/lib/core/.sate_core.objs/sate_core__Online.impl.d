@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Float Hashtbl List Method Sate_paths Sate_te Scenario

@@ -1,0 +1,1 @@
+lib/core/online.mli: Method Sate_te Scenario

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Sate_orbit Sate_paths Sate_te Sate_topology Sate_traffic

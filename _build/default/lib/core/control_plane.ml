@@ -1,0 +1,47 @@
+module Geo = Sate_geo.Geo
+module Snapshot = Sate_topology.Snapshot
+module Link = Sate_topology.Link
+module Pqueue = Sate_util.Pqueue
+module Instance = Sate_te.Instance
+
+let houston = Geo.of_lat_lon ~lat_deg:29.76 ~lon_deg:(-95.37) ~alt_km:0.0
+
+let rule_distribution_delays_ms ?(center = houston) ?(min_elevation_deg = 25.0)
+    (snap : Snapshot.t) =
+  let n = Snapshot.num_nodes snap in
+  let dist = Array.make n Float.infinity in
+  let q = Pqueue.create n in
+  (* Multi-source: every satellite in view of the centre is seeded
+     with its direct up-link delay. *)
+  for sat = 0 to snap.Snapshot.num_sats - 1 do
+    let p = snap.Snapshot.sat_positions.(sat) in
+    if Geo.elevation_angle_deg ~ground:center ~sat:p >= min_elevation_deg then begin
+      let d = Geo.propagation_delay_ms center p in
+      dist.(sat) <- d;
+      Pqueue.insert q sat d
+    end
+  done;
+  let continue = ref true in
+  while !continue do
+    match Pqueue.pop_min q with
+    | None -> continue := false
+    | Some (u, du) ->
+        List.iter
+          (fun (v, li) ->
+            let l = snap.Snapshot.links.(li) in
+            let alt = du +. Link.delay_ms l in
+            if alt < dist.(v) then begin
+              dist.(v) <- alt;
+              Pqueue.insert_or_decrease q v alt
+            end)
+          (Snapshot.neighbors snap u)
+  done;
+  Array.sub dist 0 snap.Snapshot.num_sats
+
+let rule_count_estimate (inst : Instance.t) =
+  Array.fold_left
+    (fun acc (c : Instance.commodity) ->
+      Array.fold_left
+        (fun acc p -> acc + Sate_paths.Path.hops p + 1)
+        acc c.Instance.paths)
+    0 inst.Instance.commodities

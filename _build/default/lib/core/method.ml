@@ -1,0 +1,50 @@
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+module Lp_solver = Sate_te.Lp_solver
+
+type t =
+  | Lp
+  | Lp_utility
+  | Pop of int
+  | Ecmp_wf
+  | Max_min
+  | Satellite_routing
+  | Sate of Sate_gnn.Model.t
+  | Sate_mlu of Sate_gnn.Model.t
+  | Teal of Sate_baselines.Teal_like.t
+  | Harp of Sate_baselines.Harp_like.t
+
+let name = function
+  | Lp -> "lp-optimal"
+  | Lp_utility -> "lp-log-utility"
+  | Pop k -> Printf.sprintf "pop-%d" k
+  | Ecmp_wf -> "ecmp-wf"
+  | Max_min -> "max-min-fair"
+  | Satellite_routing -> "satellite-routing"
+  | Sate _ -> "sate"
+  | Sate_mlu _ -> "sate-mlu"
+  | Teal _ -> "teal-like"
+  | Harp _ -> "harp-like"
+
+let is_centralized = function Satellite_routing -> false | _ -> true
+
+let solve_timed m inst =
+  match m with
+  | Pop k -> Sate_baselines.Pop.solve_timed ~k inst
+  | Satellite_routing -> (Sate_baselines.Satellite_routing.solve inst, 0.0)
+  | Lp | Lp_utility | Ecmp_wf | Max_min | Sate _ | Sate_mlu _ | Teal _ | Harp _ ->
+      let t0 = Unix.gettimeofday () in
+      let alloc =
+        match m with
+        | Lp -> Lp_solver.solve inst
+        | Lp_utility -> Lp_solver.solve ~objective:Lp_solver.Max_log_utility inst
+        | Ecmp_wf -> Sate_baselines.Ecmp_wf.solve inst
+        | Max_min -> Sate_baselines.Max_min.solve inst
+        | Sate model | Sate_mlu model -> Sate_gnn.Model.predict model inst
+        | Teal model -> Sate_baselines.Teal_like.predict model inst
+        | Harp model -> Sate_baselines.Harp_like.predict model inst
+        | Pop _ | Satellite_routing -> assert false
+      in
+      (alloc, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let solve m inst = fst (solve_timed m inst)

@@ -1,0 +1,92 @@
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+module Path = Sate_paths.Path
+
+type report = {
+  method_name : string;
+  mean_satisfied : float;
+  per_tick : (float * float) list;
+  mean_latency_ms : float;
+  recomputations : int;
+}
+
+let carryover (old_inst : Instance.t) old_alloc (new_inst : Instance.t) =
+  (* Index old rates by (src, dst, path nodes). *)
+  let table = Hashtbl.create 256 in
+  Array.iteri
+    (fun f rates ->
+      let c = old_inst.Instance.commodities.(f) in
+      Array.iteri
+        (fun p rate ->
+          if rate > 0.0 then
+            Hashtbl.replace table
+              (c.Instance.src, c.Instance.dst, c.Instance.paths.(p).Path.nodes)
+              rate)
+        rates)
+    old_alloc;
+  let alloc = Allocation.zeros new_inst in
+  Array.iteri
+    (fun f rates ->
+      let c = new_inst.Instance.commodities.(f) in
+      Array.iteri
+        (fun p _ ->
+          match
+            Hashtbl.find_opt table
+              (c.Instance.src, c.Instance.dst, c.Instance.paths.(p).Path.nodes)
+          with
+          | Some rate -> rates.(p) <- rate
+          | None -> ())
+        rates)
+    alloc;
+  Allocation.trim new_inst alloc
+
+let evaluate ?(tick_s = 1.0) ?latency_override_ms ~duration_s scenario m =
+  let latencies = ref [] in
+  let recomputations = ref 0 in
+  let compute inst =
+    let alloc, measured_ms = Method.solve_timed m inst in
+    let ms =
+      match latency_override_ms with Some ms -> ms | None -> measured_ms
+    in
+    latencies := ms :: !latencies;
+    incr recomputations;
+    (alloc, ms)
+  in
+  (* Warm start: the allocation computed on the t=0 inputs is in
+     effect from the beginning; the next round starts immediately. *)
+  let inst0 = Scenario.instance_at scenario ~time_s:0.0 in
+  let alloc0, ms0 = compute inst0 in
+  let active = ref (inst0, alloc0) in
+  let pending = ref None in
+  (* (finish_time, inst, alloc) *)
+  pending := Some (ms0 /. 1000.0, inst0, alloc0);
+  let per_tick = ref [] in
+  let ticks = int_of_float (Float.ceil (duration_s /. tick_s)) in
+  for i = 1 to ticks do
+    let now = float_of_int i *. tick_s in
+    let inst = Scenario.instance_at scenario ~time_s:now in
+    (* Land a finished computation, then start the next round on
+       current inputs. *)
+    (match !pending with
+    | Some (finish, p_inst, p_alloc) when now >= finish ->
+        active := (p_inst, p_alloc);
+        let alloc, ms = compute inst in
+        pending := Some (now +. (ms /. 1000.0), inst, alloc)
+    | Some _ | None -> ());
+    let old_inst, old_alloc = !active in
+    let effective = carryover old_inst old_alloc inst in
+    let satisfied = Allocation.satisfied_ratio inst effective in
+    per_tick := (now, satisfied) :: !per_tick
+  done;
+  let per_tick = List.rev !per_tick in
+  let n = List.length per_tick in
+  { method_name = Method.name m;
+    mean_satisfied =
+      (if n = 0 then 0.0
+       else List.fold_left (fun acc (_, s) -> acc +. s) 0.0 per_tick /. float_of_int n);
+    per_tick;
+    mean_latency_ms =
+      (let l = !latencies in
+       if l = [] then 0.0
+       else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    recomputations = !recomputations }

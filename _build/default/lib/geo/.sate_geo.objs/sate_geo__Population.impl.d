@@ -1,0 +1,1 @@
+lib/geo/population.ml: Array Float Geo List Sate_util

@@ -1,0 +1,1 @@
+lib/geo/population.mli: Sate_util

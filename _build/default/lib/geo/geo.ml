@@ -1,0 +1,80 @@
+let earth_radius_km = 6371.0
+
+let speed_of_light_km_s = 299792.458
+
+let mu_earth = 398600.4418
+
+type vec3 = { x : float; y : float; z : float }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+
+let scale k a = { x = k *. a.x; y = k *. a.y; z = k *. a.z }
+
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  { x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x) }
+
+let norm a = sqrt (dot a a)
+
+let distance a b = norm (sub a b)
+
+let deg_to_rad d = d *. Float.pi /. 180.0
+
+let rad_to_deg r = r *. 180.0 /. Float.pi
+
+let of_lat_lon ~lat_deg ~lon_deg ~alt_km =
+  let lat = deg_to_rad lat_deg and lon = deg_to_rad lon_deg in
+  let r = earth_radius_km +. alt_km in
+  { x = r *. cos lat *. cos lon; y = r *. cos lat *. sin lon; z = r *. sin lat }
+
+let latitude_deg v =
+  let r = norm v in
+  if r = 0.0 then 0.0 else rad_to_deg (asin (v.z /. r))
+
+let longitude_deg v = rad_to_deg (atan2 v.y v.x)
+
+let elevation_angle_deg ~ground ~sat =
+  let to_sat = sub sat ground in
+  let d = norm to_sat and g = norm ground in
+  if d = 0.0 || g = 0.0 then 90.0
+  else
+    (* Angle between local zenith (ground vector) and satellite
+       direction, measured from the horizon plane. *)
+    let cos_zenith = dot ground to_sat /. (g *. d) in
+    let cos_zenith = Float.max (-1.0) (Float.min 1.0 cos_zenith) in
+    90.0 -. rad_to_deg (acos cos_zenith)
+
+let line_of_sight a b =
+  (* Minimal distance from Earth's center to segment [a,b] must
+     exceed the Earth radius (plus a small atmosphere margin of 80 km
+     that grazing laser links must clear). *)
+  let margin = 80.0 in
+  let ab = sub b a in
+  let len2 = dot ab ab in
+  let closest =
+    if len2 = 0.0 then a
+    else
+      let t = -.dot a ab /. len2 in
+      let t = Float.max 0.0 (Float.min 1.0 t) in
+      add a (scale t ab)
+  in
+  norm closest > earth_radius_km +. margin
+
+let propagation_delay_ms a b = distance a b /. speed_of_light_km_s *. 1000.0
+
+let great_circle_km ~lat1 ~lon1 ~lat2 ~lon2 =
+  (* Haversine: numerically stable for small separations, where the
+     spherical law of cosines loses precision. *)
+  let p1 = deg_to_rad lat1 and p2 = deg_to_rad lat2 in
+  let dp = deg_to_rad (lat2 -. lat1) and dl = deg_to_rad (lon2 -. lon1) in
+  let a =
+    (sin (dp /. 2.0) *. sin (dp /. 2.0))
+    +. (cos p1 *. cos p2 *. sin (dl /. 2.0) *. sin (dl /. 2.0))
+  in
+  let a = Float.max 0.0 (Float.min 1.0 a) in
+  2.0 *. earth_radius_km *. atan2 (sqrt a) (sqrt (1.0 -. a))

@@ -1,0 +1,51 @@
+(** Spherical-Earth geodesy for satellite-network geometry.
+
+    Positions are Earth-Centered Earth-Fixed (ECEF) cartesian vectors
+    in kilometres.  The paper's topology rules only need distances,
+    latitudes, and elevation angles, for which a spherical Earth is
+    the standard simulator-grade model (Hypatia uses the same). *)
+
+val earth_radius_km : float
+(** Mean Earth radius, 6371.0 km. *)
+
+val speed_of_light_km_s : float
+(** c = 299,792.458 km/s, for propagation-delay computation. *)
+
+val mu_earth : float
+(** Standard gravitational parameter of Earth, km^3/s^2. *)
+
+type vec3 = { x : float; y : float; z : float }
+(** Cartesian vector (km). *)
+
+val add : vec3 -> vec3 -> vec3
+val sub : vec3 -> vec3 -> vec3
+val scale : float -> vec3 -> vec3
+val dot : vec3 -> vec3 -> float
+val cross : vec3 -> vec3 -> vec3
+val norm : vec3 -> float
+val distance : vec3 -> vec3 -> float
+(** Euclidean distance in km. *)
+
+val of_lat_lon : lat_deg:float -> lon_deg:float -> alt_km:float -> vec3
+(** ECEF position of a point at geodetic latitude/longitude (degrees)
+    and altitude above the surface. *)
+
+val latitude_deg : vec3 -> float
+(** Geocentric latitude in degrees, in \[-90, 90\]. *)
+
+val longitude_deg : vec3 -> float
+(** Longitude in degrees, in \[-180, 180\). *)
+
+val elevation_angle_deg : ground:vec3 -> sat:vec3 -> float
+(** Elevation of [sat] above the local horizon at [ground], degrees.
+    Negative when the satellite is below the horizon. *)
+
+val line_of_sight : vec3 -> vec3 -> bool
+(** Whether the straight segment between two space positions clears
+    the Earth sphere (ISL feasibility). *)
+
+val propagation_delay_ms : vec3 -> vec3 -> float
+(** One-way speed-of-light delay between two positions, milliseconds. *)
+
+val great_circle_km : lat1:float -> lon1:float -> lat2:float -> lon2:float -> float
+(** Surface great-circle distance between two lat/lon points (degrees). *)

@@ -1,0 +1,1 @@
+lib/gnn/gat.ml: Array List Sate_nn Sate_tensor Te_graph Tensor

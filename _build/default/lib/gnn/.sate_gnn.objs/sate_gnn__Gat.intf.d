@@ -1,0 +1,1 @@
+lib/gnn/gat.mli: Sate_nn Sate_util Te_graph

@@ -1,0 +1,1 @@
+lib/gnn/loss.mli: Sate_nn Sate_te Sate_tensor Te_graph

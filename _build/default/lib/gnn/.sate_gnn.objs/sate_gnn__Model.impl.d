@@ -1,0 +1,1 @@
+lib/gnn/model.ml: Array Fun Gat List Marshal Sate_nn Sate_te Sate_tensor Sate_util Te_graph Tensor

@@ -1,0 +1,1 @@
+lib/gnn/model.mli: Sate_nn Sate_te Te_graph

@@ -1,0 +1,1 @@
+lib/gnn/te_graph.ml: Array Float Hashtbl List Sate_paths Sate_te Sate_tensor Sate_topology Tensor

@@ -1,0 +1,1 @@
+lib/gnn/te_graph.mli: Sate_te Sate_tensor Tensor

@@ -1,0 +1,1 @@
+lib/gnn/trainer.ml: Array List Loss Model Sate_nn Sate_te Sate_tensor Sate_util Te_graph Tensor Unix

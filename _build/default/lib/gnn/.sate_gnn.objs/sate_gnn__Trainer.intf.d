@@ -1,0 +1,1 @@
+lib/gnn/trainer.mli: Loss Model Sate_te Sate_tensor Te_graph

@@ -1,0 +1,74 @@
+open Sate_tensor
+module A = Sate_nn.Autodiff
+
+type head = {
+  w_src : A.t; (* dim x head_dim: Theta_n applied to neighbours *)
+  w_dst : A.t; (* dim x head_dim: Theta_n applied to the centre node *)
+  w_edge : A.t; (* 1 x head_dim: Theta_e on scalar edge features *)
+  a_src : A.t; (* head_dim x 1 attention vector slices of Eq. 7 *)
+  a_dst : A.t;
+  a_edge : A.t;
+}
+
+type t = { dim : int; heads : head array; w_self : A.t; attention : bool }
+
+let create ?(attention = true) rng ~dim ~heads =
+  if dim mod heads <> 0 then invalid_arg "Gat.create: dim must divide by heads";
+  let hd = dim / heads in
+  let mk () =
+    { w_src = A.leaf (Tensor.xavier rng dim hd);
+      w_dst = A.leaf (Tensor.xavier rng dim hd);
+      w_edge = A.leaf (Tensor.xavier rng 1 hd);
+      a_src = A.leaf (Tensor.xavier rng hd 1);
+      a_dst = A.leaf (Tensor.xavier rng hd 1);
+      a_edge = A.leaf (Tensor.xavier rng hd 1) }
+  in
+  { dim;
+    heads = Array.init heads (fun _ -> mk ());
+    w_self = A.leaf (Tensor.xavier rng dim dim);
+    attention }
+
+let forward t ~x_src ~x_dst ~edges =
+  let { Te_graph.src; dst; feat } = edges in
+  let n_dst = (fst (A.shape x_dst)) in
+  let feat_node = A.const feat in
+  let self = A.matmul x_dst t.w_self in
+  if Array.length src = 0 then A.leaky_relu self
+  else begin
+    let per_head h =
+      (* Project, then gather endpoint rows per edge. *)
+      let hs = A.matmul x_src h.w_src in
+      let hd = A.matmul x_dst h.w_dst in
+      let he = A.matmul feat_node h.w_edge in
+      let hs_e = A.gather_rows hs src in
+      let hd_e = A.gather_rows hd dst in
+      (* Eq. 7 scores: a^T [Theta v_i || Theta v_j || Theta e]. *)
+      let scores =
+        A.leaky_relu
+          (A.add
+             (A.add (A.matmul hd_e h.a_dst) (A.matmul hs_e h.a_src))
+             (A.matmul he h.a_edge))
+      in
+      let alpha =
+        if t.attention then A.segment_softmax scores dst
+        else
+          (* Mean aggregation: uniform weights within each segment. *)
+          A.const
+            (Tensor.segment_softmax (Tensor.create (Array.length dst) 1) dst)
+      in
+      ignore scores;
+      (* Eq. 6 messages: alpha * (Theta_n v_j + Theta_e e). *)
+      let msg = A.col_mul (A.add hs_e he) alpha in
+      A.scatter_add_rows msg dst ~rows:n_dst
+    in
+    let aggregated =
+      A.concat_cols (Array.to_list (Array.map per_head t.heads))
+    in
+    A.leaky_relu (A.add self aggregated)
+  end
+
+let params t =
+  t.w_self
+  :: List.concat_map
+       (fun h -> [ h.w_src; h.w_dst; h.w_edge; h.a_src; h.a_dst; h.a_edge ])
+       (Array.to_list t.heads)

@@ -1,0 +1,30 @@
+(** Edge-featured graph attention block (Eqs. 1, 6, 7).
+
+    One block updates destination-node embeddings from source-node
+    embeddings along a directed relation:
+
+    {v v_i' = LeakyReLU( Theta_s v_i  ||_k  sum_j a^k_{j,i} (Theta_n^k v_j + Theta_e^k e_{j,i}) ) v}
+
+    with attention coefficients per head from Eq. 7.  Source and
+    destination node sets may differ (bipartite relations R2/R3), so
+    separate source/destination key projections are kept. *)
+
+type t
+
+val create :
+  ?attention:bool -> Sate_util.Rng.t -> dim:int -> heads:int -> t
+(** Embedding dimension [dim] must be divisible by [heads].  With
+    [attention:false] the block degrades to mean aggregation (uniform
+    attention weights) — the ablation of Sec. 3.3's design choice. *)
+
+val forward :
+  t ->
+  x_src:Sate_nn.Autodiff.t ->
+  x_dst:Sate_nn.Autodiff.t ->
+  edges:Te_graph.edges ->
+  Sate_nn.Autodiff.t
+(** New destination embeddings ([N_dst x dim]).  Edge [src]/[dst]
+    indices address [x_src]/[x_dst] rows respectively.  Destinations
+    without incoming edges keep only their self term. *)
+
+val params : t -> Sate_nn.Autodiff.t list

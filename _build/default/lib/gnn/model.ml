@@ -1,0 +1,167 @@
+open Sate_tensor
+module A = Sate_nn.Autodiff
+module Layers = Sate_nn.Layers
+module Rng = Sate_util.Rng
+module Instance = Sate_te.Instance
+
+type hyper = {
+  dim : int;
+  heads : int;
+  r1_layers : int;
+  r2_layers : int;
+  r3_layers : int;
+  decoder_hidden : int;
+  attention : bool;
+  with_access_relation : bool;
+}
+
+let default_hyper =
+  { dim = 32;
+    heads = 2;
+    r1_layers = 2;
+    r2_layers = 2;
+    r3_layers = 2;
+    decoder_hidden = 64;
+    attention = true;
+    with_access_relation = false }
+
+type t = {
+  hyper : hyper;
+  seed : int;
+  w_ne1 : A.t; (* satellite embedding init: 1 x d *)
+  w_ne2 : A.t; (* path embedding init *)
+  w_ne3 : A.t; (* traffic embedding init *)
+  r1 : Gat.t array;
+  r2_path_to_sat : Gat.t array;
+  r2_sat_to_path : Gat.t array;
+  r3_path_to_traffic : Gat.t array;
+  r3_traffic_to_path : Gat.t array;
+  access_traffic_to_sat : Gat.t array;
+  decoder : Layers.mlp;
+}
+
+let create ?(hyper = default_hyper) ~seed () =
+  let rng = Rng.create seed in
+  let gats n = Array.init n (fun _ -> Gat.create ~attention:hyper.attention rng ~dim:hyper.dim ~heads:hyper.heads) in
+  { hyper;
+    seed;
+    w_ne1 = A.leaf (Tensor.xavier rng 1 hyper.dim);
+    w_ne2 = A.leaf (Tensor.xavier rng 1 hyper.dim);
+    w_ne3 = A.leaf (Tensor.xavier rng 1 hyper.dim);
+    r1 = gats hyper.r1_layers;
+    r2_path_to_sat = gats hyper.r2_layers;
+    r2_sat_to_path = gats hyper.r2_layers;
+    r3_path_to_traffic = gats hyper.r3_layers;
+    r3_traffic_to_path = gats hyper.r3_layers;
+    access_traffic_to_sat =
+      (if hyper.with_access_relation then gats 1 else [||]);
+    decoder =
+      Layers.mlp rng ~dims:[ 2 * hyper.dim; hyper.decoder_hidden; 1 ] }
+
+let hyper t = t.hyper
+
+let params t =
+  [ t.w_ne1; t.w_ne2; t.w_ne3 ]
+  @ List.concat_map Gat.params (Array.to_list t.r1)
+  @ List.concat_map Gat.params (Array.to_list t.r2_path_to_sat)
+  @ List.concat_map Gat.params (Array.to_list t.r2_sat_to_path)
+  @ List.concat_map Gat.params (Array.to_list t.r3_path_to_traffic)
+  @ List.concat_map Gat.params (Array.to_list t.r3_traffic_to_path)
+  @ List.concat_map Gat.params (Array.to_list t.access_traffic_to_sat)
+  @ Layers.mlp_params t.decoder
+
+let num_parameters t = Layers.num_parameters (params t)
+
+let forward t (g : Te_graph.t) =
+  if g.Te_graph.num_paths = 0 then A.const (Tensor.create 0 1)
+  else begin
+    (* Embedding initialisation (Fig. 7 table). *)
+    let x_sat = ref (A.matmul (A.const g.Te_graph.sat_feat) t.w_ne1) in
+    let x_path = ref (A.matmul (A.const g.Te_graph.path_feat) t.w_ne2) in
+    let x_traffic = ref (A.matmul (A.const g.Te_graph.traffic_feat) t.w_ne3) in
+    (* GNN for R1: satellite embeddings over ISLs. *)
+    Array.iter
+      (fun gat ->
+        x_sat :=
+          A.add !x_sat (Gat.forward gat ~x_src:!x_sat ~x_dst:!x_sat ~edges:g.Te_graph.r1))
+      t.r1;
+    (* Ablation: redundant access relation (traffic -> satellite). *)
+    (match g.Te_graph.access with
+    | Some access_edges ->
+        Array.iter
+          (fun gat ->
+            x_sat :=
+              A.add !x_sat
+                (Gat.forward gat ~x_src:!x_traffic ~x_dst:!x_sat ~edges:access_edges))
+          t.access_traffic_to_sat
+    | None -> ());
+    (* GNN for R2: satellites and paths updated concurrently. *)
+    for i = 0 to t.hyper.r2_layers - 1 do
+      let sat_in = !x_sat and path_in = !x_path in
+      let new_sat =
+        Gat.forward t.r2_path_to_sat.(i) ~x_src:path_in ~x_dst:sat_in
+          ~edges:g.Te_graph.r2
+      in
+      let new_path =
+        Gat.forward t.r2_sat_to_path.(i) ~x_src:sat_in ~x_dst:path_in
+          ~edges:(Te_graph.reverse g.Te_graph.r2)
+      in
+      x_sat := A.add sat_in new_sat;
+      x_path := A.add path_in new_path
+    done;
+    (* GNN for R3: paths and traffic demands. *)
+    for i = 0 to t.hyper.r3_layers - 1 do
+      let path_in = !x_path and traffic_in = !x_traffic in
+      let new_traffic =
+        Gat.forward t.r3_path_to_traffic.(i) ~x_src:path_in ~x_dst:traffic_in
+          ~edges:g.Te_graph.r3
+      in
+      let new_path =
+        Gat.forward t.r3_traffic_to_path.(i) ~x_src:traffic_in ~x_dst:path_in
+          ~edges:(Te_graph.reverse g.Te_graph.r3)
+      in
+      x_traffic := A.add traffic_in new_traffic;
+      x_path := A.add path_in new_path
+    done;
+    (* Decoder: path embedding || its demand embedding -> ratio. *)
+    let demand_emb = A.gather_rows !x_traffic g.Te_graph.path_commodity in
+    let z = Layers.forward_mlp t.decoder (A.concat_cols [ !x_path; demand_emb ]) in
+    A.sigmoid z
+  end
+
+let predict ?(trim = true) t inst =
+  let g = Te_graph.of_instance ~with_access_relation:t.hyper.with_access_relation inst in
+  let ratios = forward t g in
+  let alloc = Sate_te.Allocation.zeros inst in
+  let p = ref 0 in
+  Array.iteri
+    (fun f rates ->
+      let demand = inst.Instance.commodities.(f).Instance.demand_mbps in
+      Array.iteri
+        (fun pi _ ->
+          rates.(pi) <- demand *. Tensor.get ratios.A.value !p 0;
+          incr p)
+        rates)
+    alloc;
+  if trim then Sate_te.Allocation.trim inst alloc else alloc
+
+(* Save format: marshalled (hyper, seed, weights).  Marshal is safe
+   here: files are local artefacts of this library only. *)
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Marshal.to_channel oc (t.hyper, t.seed, Layers.dump_params (params t)) [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let hyper, seed, weights =
+        (Marshal.from_channel ic : hyper * int * float array)
+      in
+      let t = create ~hyper ~seed () in
+      Layers.load_params (params t) weights;
+      t)

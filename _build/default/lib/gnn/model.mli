@@ -1,0 +1,56 @@
+(** The SaTE model (Section 3.3, Fig. 7): three sequential GNN
+    modules over the simplified TE graph plus an MLP decoder.
+
+    - Module R1 refines satellite embeddings over inter-satellite
+      links;
+    - Module R2 updates satellite and path embeddings concurrently
+      over the crosses relation;
+    - Module R3 refines path and traffic embeddings over the
+      transports relation;
+    - the decoder maps each path embedding (concatenated with its
+      demand embedding) to an allocation ratio in (0, 1); the
+      predicted rate is ratio x demand.
+
+    Embeddings are initialised exactly as in the Fig. 7 table: each
+    scalar TE input times a learnable 1 x d matrix W.  Residual
+    connections mitigate over-smoothing (Appendix B).  The paper uses
+    d = 768 on an A100; the CPU default here is d = 32, which keeps
+    the architecture identical while fitting laptop budgets. *)
+
+type hyper = {
+  dim : int;  (** Embedding width (paper: 768; default here 32). *)
+  heads : int;  (** Attention heads per GAT block. *)
+  r1_layers : int;
+  r2_layers : int;
+  r3_layers : int;
+  decoder_hidden : int;
+  attention : bool;  (** false = mean-aggregation ablation. *)
+  with_access_relation : bool;
+      (** true = keep the redundant access relation (Fig. 6a ablation),
+          adding a fourth module and its latency cost. *)
+}
+
+val default_hyper : hyper
+
+type t
+
+val create : ?hyper:hyper -> seed:int -> unit -> t
+
+val hyper : t -> hyper
+
+val params : t -> Sate_nn.Autodiff.t list
+
+val num_parameters : t -> int
+
+val forward : t -> Te_graph.t -> Sate_nn.Autodiff.t
+(** Allocation ratios, [num_paths x 1], each in (0, 1). *)
+
+val predict : ?trim:bool -> t -> Sate_te.Instance.t -> Sate_te.Allocation.t
+(** End-to-end inference: build the graph, run {!forward}, scale by
+    demands, and (by default) apply the §3.3 feasibility trim. *)
+
+val save : t -> string -> unit
+(** Persist hyperparameters and weights to a file. *)
+
+val load : string -> t
+(** Restore a model saved by {!save}. *)

@@ -1,0 +1,72 @@
+open Sate_tensor
+module A = Sate_nn.Autodiff
+module Optimizer = Sate_nn.Optimizer
+module Rng = Sate_util.Rng
+
+type sample = {
+  instance : Sate_te.Instance.t;
+  graph : Te_graph.t;
+  labels : Tensor.t;
+}
+
+let make_sample ?(with_access_relation = false) ?(objective = Sate_te.Lp_solver.Max_throughput)
+    instance =
+  let alloc = Sate_te.Lp_solver.solve ~objective instance in
+  { instance;
+    graph = Te_graph.of_instance ~with_access_relation instance;
+    labels = Loss.label_ratios_of_alloc instance alloc }
+
+type report = {
+  epochs_run : int;
+  losses : float array;
+  wall_clock_s : float;
+}
+
+let train ?(loss_config = Loss.default_config) ?(epochs = 30) ?(lr = 2e-3)
+    ?(shuffle_seed = 17) model samples =
+  let t0 = Unix.gettimeofday () in
+  let params = Model.params model in
+  let opt = Optimizer.adam ~lr params in
+  let rng = Rng.create shuffle_seed in
+  let samples = Array.of_list samples in
+  let losses = Array.make epochs 0.0 in
+  for epoch = 0 to epochs - 1 do
+    Rng.shuffle rng samples;
+    let total = ref 0.0 and count = ref 0 in
+    Array.iter
+      (fun s ->
+        if s.graph.Te_graph.num_paths > 0 then begin
+          let pred = Model.forward model s.graph in
+          let loss =
+            Loss.compute loss_config s.graph ~pred_ratios:pred
+              ~label_ratios:s.labels
+          in
+          A.backward loss;
+          Optimizer.step opt;
+          total := !total +. A.scalar_value loss;
+          incr count
+        end)
+      samples;
+    losses.(epoch) <- (if !count > 0 then !total /. float_of_int !count else 0.0)
+  done;
+  { epochs_run = epochs; losses; wall_clock_s = Unix.gettimeofday () -. t0 }
+
+let fine_tune ?loss_config ?(epochs = 10) ?(lr = 5e-4) model samples =
+  train ?loss_config ~epochs ~lr model samples
+
+let evaluate model samples =
+  let ratios =
+    List.map
+      (fun s ->
+        let alloc = Model.predict model s.instance in
+        Sate_te.Allocation.satisfied_ratio s.instance alloc)
+      samples
+  in
+  match ratios with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+
+let inference_time_ms model sample =
+  let t0 = Unix.gettimeofday () in
+  ignore (Model.forward model sample.graph);
+  (Unix.gettimeofday () -. t0) *. 1000.0

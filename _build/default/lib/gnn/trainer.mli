@@ -1,0 +1,51 @@
+(** Supervised training of the SaTE model against LP labels
+    (Section 3.3 "Training Method"). *)
+
+type sample = {
+  instance : Sate_te.Instance.t;
+  graph : Te_graph.t;
+  labels : Sate_tensor.Tensor.t;  (** Optimal allocation ratios. *)
+}
+
+val make_sample :
+  ?with_access_relation:bool ->
+  ?objective:Sate_te.Lp_solver.objective ->
+  Sate_te.Instance.t ->
+  sample
+(** Solve the instance exactly with the LP solver to obtain labels
+    (max-throughput by default; [Min_mlu] for the Appendix H.2
+    variant), and pre-build its TE graph. *)
+
+type report = {
+  epochs_run : int;
+  losses : float array;  (** Mean loss per epoch. *)
+  wall_clock_s : float;
+}
+
+val train :
+  ?loss_config:Loss.config ->
+  ?epochs:int ->
+  ?lr:float ->
+  ?shuffle_seed:int ->
+  Model.t ->
+  sample list ->
+  report
+(** Adam over per-sample losses, samples shuffled each epoch. *)
+
+val fine_tune :
+  ?loss_config:Loss.config ->
+  ?epochs:int ->
+  ?lr:float ->
+  Model.t ->
+  sample list ->
+  report
+(** Continue training an existing (e.g. transferred) model at a
+    reduced learning rate — the curriculum-style adaptation the paper
+    suggests for constellations under gradual expansion (Sec. 7). *)
+
+val evaluate : Model.t -> sample list -> float
+(** Mean satisfied-demand ratio of trimmed predictions. *)
+
+val inference_time_ms : Model.t -> sample -> float
+(** Wall-clock of one forward pass (graph already built), i.e. the
+    paper's "computational latency" for SaTE. *)

@@ -1,0 +1,189 @@
+type sense = Le | Ge | Eq
+
+type constr = { coeffs : float array; sense : sense; rhs : float }
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+let solve ?(maximize = true) ?max_iters ?(eps = 1e-9) ~c ~constraints () =
+  let n = Array.length c in
+  List.iter
+    (fun { coeffs; _ } ->
+      if Array.length coeffs <> n then
+        invalid_arg "Simplex.solve: coefficient length mismatch")
+    constraints;
+  (* Normalize: maximization with non-negative rhs. *)
+  let c = if maximize then Array.copy c else Array.map (fun v -> -.v) c in
+  let rows =
+    List.map
+      (fun { coeffs; sense; rhs } ->
+        if rhs < 0.0 then
+          ( Array.map (fun v -> -.v) coeffs,
+            (match sense with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.rhs )
+        else (Array.copy coeffs, sense, rhs))
+      constraints
+  in
+  let m = List.length rows in
+  let n_slack =
+    List.fold_left
+      (fun acc (_, s, _) -> match s with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let n_art =
+    List.fold_left
+      (fun acc (_, s, _) -> match s with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let total = n + n_slack + n_art in
+  let tab = Array.make_matrix m (total + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let scale =
+    List.fold_left
+      (fun acc (coeffs, _, rhs) ->
+        Array.fold_left (fun a v -> Float.max a (Float.abs v)) (Float.max acc rhs) coeffs)
+      (Array.fold_left (fun a v -> Float.max a (Float.abs v)) 1.0 c)
+      rows
+  in
+  let big_m = 1e6 *. scale in
+  let slack_idx = ref n and art_idx = ref (n + n_slack) in
+  List.iteri
+    (fun i (coeffs, sense, rhs) ->
+      Array.blit coeffs 0 tab.(i) 0 n;
+      tab.(i).(total) <- rhs;
+      (match sense with
+      | Le ->
+          tab.(i).(!slack_idx) <- 1.0;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          tab.(i).(!slack_idx) <- -1.0;
+          incr slack_idx;
+          tab.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx
+      | Eq ->
+          tab.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx))
+    rows;
+  (* Objective row: reduced costs (z_j - c_j form with sign such that
+     a negative entry means improvement is possible). *)
+  let obj = Array.make (total + 1) 0.0 in
+  for j = 0 to n - 1 do
+    obj.(j) <- -.c.(j)
+  done;
+  for j = n + n_slack to total - 1 do
+    obj.(j) <- big_m
+  done;
+  (* Zero out the reduced costs of the initial (artificial) basics. *)
+  for i = 0 to m - 1 do
+    if basis.(i) >= n + n_slack then
+      for j = 0 to total do
+        obj.(j) <- obj.(j) -. (big_m *. tab.(i).(j))
+      done
+  done;
+  let max_iters =
+    match max_iters with Some k -> k | None -> 50 * (m + total + 1)
+  in
+  let bland_after = max_iters / 2 in
+  let status = ref `Running in
+  let iter = ref 0 in
+  while !status = `Running do
+    incr iter;
+    if !iter > max_iters then status := `Iters
+    else begin
+      (* Entering column. *)
+      let entering = ref (-1) in
+      if !iter <= bland_after then begin
+        let best = ref (-.eps) in
+        for j = 0 to total - 1 do
+          if obj.(j) < !best then begin
+            best := obj.(j);
+            entering := j
+          end
+        done
+      end
+      else begin
+        (* Bland: first improving column. *)
+        let j = ref 0 in
+        while !entering < 0 && !j < total do
+          if obj.(!j) < -.eps then entering := !j;
+          incr j
+        done
+      end;
+      if !entering < 0 then status := `Optimal
+      else begin
+        (* Ratio test (Bland tie-break on basis index). *)
+        let e = !entering in
+        let leave = ref (-1) and best_ratio = ref Float.infinity in
+        for i = 0 to m - 1 do
+          let a = tab.(i).(e) in
+          if a > eps then begin
+            let ratio = tab.(i).(total) /. a in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps
+                 && (!leave < 0 || basis.(i) < basis.(!leave)))
+            then begin
+              best_ratio := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then status := `Unbounded
+        else begin
+          let r = !leave in
+          let pivot = tab.(r).(e) in
+          for j = 0 to total do
+            tab.(r).(j) <- tab.(r).(j) /. pivot
+          done;
+          for i = 0 to m - 1 do
+            if i <> r then begin
+              let factor = tab.(i).(e) in
+              if Float.abs factor > 0.0 then
+                for j = 0 to total do
+                  tab.(i).(j) <- tab.(i).(j) -. (factor *. tab.(r).(j))
+                done
+            end
+          done;
+          let factor = obj.(e) in
+          if Float.abs factor > 0.0 then
+            for j = 0 to total do
+              obj.(j) <- obj.(j) -. (factor *. tab.(r).(j))
+            done;
+          basis.(r) <- e
+        end
+      end
+    end
+  done;
+  match !status with
+  | `Unbounded -> Unbounded
+  | `Iters -> Iteration_limit
+  | `Optimal | `Running ->
+      (* Infeasible if an artificial variable stays basic at a
+         non-trivial level. *)
+      let feasibility_tol = 1e-6 *. Float.max 1.0 scale in
+      let infeasible = ref false in
+      for i = 0 to m - 1 do
+        if basis.(i) >= n + n_slack && tab.(i).(total) > feasibility_tol then
+          infeasible := true
+      done;
+      if !infeasible then Infeasible
+      else begin
+        let solution = Array.make n 0.0 in
+        for i = 0 to m - 1 do
+          if basis.(i) < n then solution.(basis.(i)) <- tab.(i).(total)
+        done;
+        let objective =
+          let v = ref 0.0 in
+          for j = 0 to n - 1 do
+            v := !v +. (c.(j) *. solution.(j))
+          done;
+          if maximize then !v else -. !v
+        in
+        Optimal { objective; solution }
+      end

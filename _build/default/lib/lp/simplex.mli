@@ -1,0 +1,35 @@
+(** Dense simplex linear-programming solver.
+
+    This is the repository's stand-in for the commercial solver the
+    paper uses for ground-truth TE labels and as the "Gurobi"
+    baseline.  It solves
+
+    {v max/min  c . x   subject to   A x (<=|=|>=) b,  x >= 0 v}
+
+    with the Big-M method for equality/>= rows and Bland's rule as an
+    anti-cycling fallback.  Dense tableaus are adequate at the problem
+    sizes used for label generation; production WAN solvers are
+    faster, which only widens the latency gap the paper reports in
+    SaTE's favour. *)
+
+type sense = Le | Ge | Eq
+
+type constr = { coeffs : float array; sense : sense; rhs : float }
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+val solve :
+  ?maximize:bool ->
+  ?max_iters:int ->
+  ?eps:float ->
+  c:float array ->
+  constraints:constr list ->
+  unit ->
+  outcome
+(** [solve ~c ~constraints ()] optimizes [c . x] (maximization by
+    default) over non-negative [x].  All [coeffs] arrays must share
+    [c]'s length.  [max_iters] defaults to [50 * (rows + cols)]. *)

@@ -1,0 +1,1 @@
+lib/nn/autodiff.ml: Array Float Hashtbl List Sate_tensor Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/nn/layers.ml: Array Autodiff List Sate_tensor Sate_util Tensor

@@ -1,0 +1,1 @@
+lib/nn/layers.mli: Autodiff Sate_tensor Sate_util Tensor

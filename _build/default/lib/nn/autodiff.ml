@@ -1,0 +1,240 @@
+open Sate_tensor
+
+type t = {
+  id : int;
+  value : Tensor.t;
+  mutable grad : Tensor.t;
+  mutable back : unit -> unit;
+  parents : t list;
+}
+
+let counter = ref 0
+
+let node value parents =
+  incr counter;
+  { id = !counter;
+    value;
+    grad = Tensor.create value.Tensor.rows value.Tensor.cols;
+    back = (fun () -> ());
+    parents }
+
+let leaf value = node value []
+
+let const = leaf
+
+let shape t = (t.value.Tensor.rows, t.value.Tensor.cols)
+
+let accumulate dst g = dst.grad <- Tensor.add dst.grad g
+
+let add a b =
+  let out = node (Tensor.add a.value b.value) [ a; b ] in
+  out.back <-
+    (fun () ->
+      accumulate a out.grad;
+      accumulate b out.grad);
+  out
+
+let sub a b =
+  let out = node (Tensor.sub a.value b.value) [ a; b ] in
+  out.back <-
+    (fun () ->
+      accumulate a out.grad;
+      accumulate b (Tensor.scale (-1.0) out.grad));
+  out
+
+let mul a b =
+  let out = node (Tensor.mul a.value b.value) [ a; b ] in
+  out.back <-
+    (fun () ->
+      accumulate a (Tensor.mul out.grad b.value);
+      accumulate b (Tensor.mul out.grad a.value));
+  out
+
+let scale k a =
+  let out = node (Tensor.scale k a.value) [ a ] in
+  out.back <- (fun () -> accumulate a (Tensor.scale k out.grad));
+  out
+
+let matmul a b =
+  let out = node (Tensor.matmul a.value b.value) [ a; b ] in
+  out.back <-
+    (fun () ->
+      accumulate a (Tensor.matmul out.grad (Tensor.transpose b.value));
+      accumulate b (Tensor.matmul (Tensor.transpose a.value) out.grad));
+  out
+
+let square a =
+  let out = node (Tensor.map (fun v -> v *. v) a.value) [ a ] in
+  out.back <-
+    (fun () -> accumulate a (Tensor.mul out.grad (Tensor.scale 2.0 a.value)));
+  out
+
+let leaky_relu ?(alpha = 0.2) a =
+  let out =
+    node (Tensor.map (fun v -> if v > 0.0 then v else alpha *. v) a.value) [ a ]
+  in
+  out.back <-
+    (fun () ->
+      accumulate a
+        (Tensor.map2
+           (fun g v -> if v > 0.0 then g else alpha *. g)
+           out.grad a.value));
+  out
+
+let relu a =
+  let out = node (Tensor.map (fun v -> Float.max 0.0 v) a.value) [ a ] in
+  out.back <-
+    (fun () ->
+      accumulate a
+        (Tensor.map2 (fun g v -> if v > 0.0 then g else 0.0) out.grad a.value));
+  out
+
+let sigmoid a =
+  let s = Tensor.map (fun v -> 1.0 /. (1.0 +. Stdlib.exp (-.v))) a.value in
+  let out = node s [ a ] in
+  out.back <-
+    (fun () ->
+      accumulate a (Tensor.map2 (fun g y -> g *. y *. (1.0 -. y)) out.grad s));
+  out
+
+let exp a =
+  let e = Tensor.map Stdlib.exp a.value in
+  let out = node e [ a ] in
+  out.back <- (fun () -> accumulate a (Tensor.mul out.grad e));
+  out
+
+let clamp_max bound a =
+  let out = node (Tensor.map (fun v -> Float.min bound v) a.value) [ a ] in
+  out.back <-
+    (fun () ->
+      accumulate a
+        (Tensor.map2
+           (fun g v -> if v < bound then g else 0.0)
+           out.grad a.value));
+  out
+
+let gather_rows a idx =
+  let out = node (Tensor.gather_rows a.value idx) [ a ] in
+  out.back <-
+    (fun () ->
+      accumulate a
+        (Tensor.scatter_add_rows out.grad idx ~rows:a.value.Tensor.rows));
+  out
+
+let scatter_add_rows a idx ~rows =
+  let out = node (Tensor.scatter_add_rows a.value idx ~rows) [ a ] in
+  out.back <- (fun () -> accumulate a (Tensor.gather_rows out.grad idx));
+  out
+
+let concat_cols parts =
+  let out = node (Tensor.concat_cols (List.map (fun p -> p.value) parts)) parts in
+  out.back <-
+    (fun () ->
+      let widths = List.map (fun p -> p.value.Tensor.cols) parts in
+      let grads = Tensor.split_cols out.grad widths in
+      List.iter2 accumulate parts grads);
+  out
+
+(* Column sums as a 1 x cols tensor (adjoint of row broadcast). *)
+let col_sums (m : Tensor.t) =
+  let out = Tensor.create 1 m.Tensor.cols in
+  for i = 0 to m.Tensor.rows - 1 do
+    for j = 0 to m.Tensor.cols - 1 do
+      out.Tensor.data.(j) <- out.Tensor.data.(j) +. Tensor.get m i j
+    done
+  done;
+  out
+
+let add_rowvec m v =
+  let out = node (Tensor.add_rowvec m.value v.value) [ m; v ] in
+  out.back <-
+    (fun () ->
+      accumulate m out.grad;
+      accumulate v (col_sums out.grad));
+  out
+
+let col_mul m v =
+  let out = node (Tensor.col_mul m.value v.value) [ m; v ] in
+  out.back <-
+    (fun () ->
+      accumulate m (Tensor.col_mul out.grad v.value);
+      accumulate v (Tensor.row_sums (Tensor.mul out.grad m.value)));
+  out
+
+let row_sums a =
+  let out = node (Tensor.row_sums a.value) [ a ] in
+  out.back <-
+    (fun () ->
+      let rows, cols = (a.value.Tensor.rows, a.value.Tensor.cols) in
+      accumulate a
+        (Tensor.init rows cols (fun i _ -> Tensor.get out.grad i 0)));
+  out
+
+let sum a =
+  let out = node (Tensor.of_array ~rows:1 ~cols:1 [| Tensor.sum a.value |]) [ a ] in
+  out.back <-
+    (fun () ->
+      let g = out.grad.Tensor.data.(0) in
+      accumulate a (Tensor.full a.value.Tensor.rows a.value.Tensor.cols g));
+  out
+
+let mean a =
+  let n = float_of_int (a.value.Tensor.rows * a.value.Tensor.cols) in
+  scale (1.0 /. Float.max 1.0 n) (sum a)
+
+let segment_softmax scores seg =
+  let y = Tensor.segment_softmax scores.value seg in
+  let out = node y [ scores ] in
+  out.back <-
+    (fun () ->
+      let m = y.Tensor.rows in
+      let max_seg = Array.fold_left max 0 (if m = 0 then [| 0 |] else seg) in
+      let dot = Array.make (max_seg + 1) 0.0 in
+      for i = 0 to m - 1 do
+        dot.(seg.(i)) <- dot.(seg.(i)) +. (y.Tensor.data.(i) *. out.grad.Tensor.data.(i))
+      done;
+      let g =
+        Tensor.init m 1 (fun i _ ->
+            y.Tensor.data.(i) *. (out.grad.Tensor.data.(i) -. dot.(seg.(i))))
+      in
+      accumulate scores g);
+  out
+
+let scalar v = leaf (Tensor.of_array ~rows:1 ~cols:1 [| v |])
+
+let scalar_value t =
+  if t.value.Tensor.rows <> 1 || t.value.Tensor.cols <> 1 then
+    invalid_arg "Autodiff.scalar_value: not a scalar";
+  t.value.Tensor.data.(0)
+
+let div_scalar a s =
+  let sv = scalar_value s in
+  let out = node (Tensor.scale (1.0 /. sv) a.value) [ a; s ] in
+  out.back <-
+    (fun () ->
+      accumulate a (Tensor.scale (1.0 /. sv) out.grad);
+      let da =
+        Tensor.sum (Tensor.mul out.grad a.value) *. (-1.0 /. (sv *. sv))
+      in
+      accumulate s (Tensor.of_array ~rows:1 ~cols:1 [| da |]));
+  out
+
+let backward root =
+  if root.value.Tensor.rows <> 1 || root.value.Tensor.cols <> 1 then
+    invalid_arg "Autodiff.backward: root must be scalar";
+  root.grad <- Tensor.full 1 1 1.0;
+  (* Collect the reachable subgraph; node ids increase topologically
+     (children are created after parents), so descending-id order is a
+     valid reverse topological order. *)
+  let visited = Hashtbl.create 256 in
+  let nodes = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem visited n.id) then begin
+      Hashtbl.add visited n.id ();
+      nodes := n :: !nodes;
+      List.iter visit n.parents
+    end
+  in
+  visit root;
+  let ordered = List.sort (fun a b -> compare b.id a.id) !nodes in
+  List.iter (fun n -> n.back ()) ordered

@@ -1,0 +1,86 @@
+(** Reverse-mode automatic differentiation over {!Sate_tensor.Tensor}.
+
+    A computation builds a DAG of value nodes; {!backward} runs the
+    chain rule from a scalar loss back to every reachable leaf.  The
+    operation set is exactly what attention message passing and the
+    SaTE loss (Appendix B) require — including row gather/scatter and
+    per-segment softmax with their adjoints. *)
+
+open Sate_tensor
+
+type t = {
+  id : int;
+  value : Tensor.t;
+  mutable grad : Tensor.t;
+  mutable back : unit -> unit;
+  parents : t list;
+}
+
+val leaf : Tensor.t -> t
+(** Parameter or input node (no parents). *)
+
+val const : Tensor.t -> t
+(** Alias of {!leaf}; constants simply never get optimizer updates. *)
+
+val shape : t -> int * int
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val matmul : t -> t -> t
+val square : t -> t
+
+(** {1 Nonlinearities} *)
+
+val leaky_relu : ?alpha:float -> t -> t
+(** Default negative slope 0.2 (GAT convention). *)
+
+val relu : t -> t
+val sigmoid : t -> t
+val exp : t -> t
+
+val clamp_max : float -> t -> t
+(** Pass-through below the bound, constant above (zero gradient). *)
+
+(** {1 Structure} *)
+
+val gather_rows : t -> int array -> t
+val scatter_add_rows : t -> int array -> rows:int -> t
+val concat_cols : t list -> t
+val add_rowvec : t -> t -> t
+val col_mul : t -> t -> t
+val row_sums : t -> t
+
+(** {1 Reductions} *)
+
+val sum : t -> t
+(** [1 x 1] total. *)
+
+val mean : t -> t
+
+(** {1 Attention} *)
+
+val segment_softmax : t -> int array -> t
+(** Softmax over groups of equal segment id ([m x 1] scores). *)
+
+(** {1 Scalar helpers} *)
+
+val scalar : float -> t
+(** [1 x 1] constant. *)
+
+val scalar_value : t -> float
+(** Value of a [1 x 1] node. *)
+
+val div_scalar : t -> t -> t
+(** [div_scalar a s] divides every element of [a] by the [1 x 1]
+    node [s] (gradients flow to both). *)
+
+(** {1 Backward pass} *)
+
+val backward : t -> unit
+(** Seed the gradient of the (scalar) root with 1 and propagate.
+    Gradients accumulate into [grad]; callers must zero parameter
+    gradients between steps (the optimizer does). *)

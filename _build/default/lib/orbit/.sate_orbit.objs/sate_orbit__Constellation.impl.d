@@ -1,0 +1,1 @@
+lib/orbit/constellation.ml: Array Printf Sate_geo Shell

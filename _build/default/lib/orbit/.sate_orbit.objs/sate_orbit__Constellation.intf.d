@@ -1,0 +1,1 @@
+lib/orbit/constellation.mli: Sate_geo Shell

@@ -1,0 +1,1 @@
+lib/orbit/shell.ml: Float Sate_geo

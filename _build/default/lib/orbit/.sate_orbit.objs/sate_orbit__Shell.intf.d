@@ -1,0 +1,1 @@
+lib/orbit/shell.mli: Sate_geo

@@ -1,0 +1,62 @@
+(** One orbital shell of a Walker-delta constellation.
+
+    A shell is a set of circular orbits sharing altitude and
+    inclination: [planes] orbital planes spread evenly in RAAN, each
+    carrying [sats_per_plane] equally spaced satellites.  This matches
+    the FCC filing structure the paper replicates (Table 4). *)
+
+type t = {
+  name : string;  (** Human-readable label, e.g. ["starlink-shell-1"]. *)
+  altitude_km : float;  (** Height above the Earth surface. *)
+  inclination_deg : float;  (** Orbital inclination. *)
+  planes : int;  (** Number of orbital planes. *)
+  sats_per_plane : int;  (** Satellites per plane. *)
+  phasing : int;
+      (** Walker phasing factor F: the along-track offset between
+          adjacent planes is [2 pi F / (planes * sats_per_plane)]. *)
+}
+
+val make :
+  ?name:string ->
+  ?phasing:int ->
+  altitude_km:float ->
+  inclination_deg:float ->
+  planes:int ->
+  sats_per_plane:int ->
+  unit ->
+  t
+(** Smart constructor; validates positive counts and altitude. *)
+
+val size : t -> int
+(** Number of satellites in the shell. *)
+
+val semi_major_axis_km : t -> float
+(** Orbit radius from the Earth's centre. *)
+
+val mean_motion_rad_s : t -> float
+(** Angular rate [sqrt (mu / a^3)]. *)
+
+val period_s : t -> float
+(** Orbital period in seconds. *)
+
+val position :
+  t -> plane:int -> slot:int -> time_s:float -> Sate_geo.Geo.vec3
+(** ECEF position of the satellite at [plane, slot] at simulation time
+    [time_s] seconds.  Accounts for Earth rotation so ground-relative
+    geometry (elevation angles) is correct. *)
+
+val j2 : float
+(** Earth's dominant oblateness coefficient, 1.08263e-3. *)
+
+val raan_drift_rad_s : t -> float
+(** Secular nodal-regression rate from J2: negative (westward) for
+    prograde shells, positive for the retrograde-leaning polar
+    shell. *)
+
+val position_j2 :
+  t -> plane:int -> slot:int -> time_s:float -> Sate_geo.Geo.vec3
+(** Like {!position} but with the dominant J2 secular effects: RAAN
+    drift ({!raan_drift_rad_s}) and the corrected draconitic angular
+    rate.  Inter-shell relative geometry drifts realistically over
+    hours; over the sub-minute horizons of most TE experiments the
+    Keplerian {!position} is indistinguishable and faster. *)

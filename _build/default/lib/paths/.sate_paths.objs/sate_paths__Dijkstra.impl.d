@@ -1,0 +1,1 @@
+lib/paths/dijkstra.ml: Array Float List Path Queue Sate_topology Sate_util

@@ -1,0 +1,1 @@
+lib/paths/dijkstra.mli: Path Sate_topology

@@ -1,0 +1,1 @@
+lib/paths/grid_paths.ml: Array Dijkstra Hashtbl List Option Path Queue Sate_orbit Sate_topology Yen

@@ -1,0 +1,1 @@
+lib/paths/grid_paths.mli: Path Sate_orbit Sate_topology

@@ -1,0 +1,1 @@
+lib/paths/path.ml: Array Format Hashtbl List Sate_geo Sate_topology String

@@ -1,0 +1,1 @@
+lib/paths/path.mli: Format Sate_topology

@@ -1,0 +1,1 @@
+lib/paths/path_db.ml: Array Grid_paths Hashtbl List Option Path Sate_orbit Sate_topology

@@ -1,0 +1,1 @@
+lib/paths/path_db.mli: Path Sate_orbit Sate_topology

@@ -1,0 +1,1 @@
+lib/paths/yen.ml: Array Dijkstra Hashtbl List Path Sate_topology Sate_util

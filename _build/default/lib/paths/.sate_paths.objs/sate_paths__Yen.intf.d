@@ -1,0 +1,1 @@
+lib/paths/yen.mli: Dijkstra Path Sate_topology

@@ -1,0 +1,94 @@
+module Snapshot = Sate_topology.Snapshot
+module Link = Sate_topology.Link
+module Pqueue = Sate_util.Pqueue
+
+type weight = Hops | Km
+
+let link_cost weight (l : Link.t) =
+  match weight with Hops -> 1.0 | Km -> l.Link.length_km
+
+let shortest ?(weight = Hops) ?(banned_nodes = fun _ -> false)
+    ?(banned_links = fun _ -> false) snap ~src ~dst =
+  let n = Snapshot.num_nodes snap in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Dijkstra.shortest: node out of range";
+  if banned_nodes src || banned_nodes dst then None
+  else begin
+    let dist = Array.make n Float.infinity in
+    let prev = Array.make n (-1) in
+    let q = Pqueue.create n in
+    dist.(src) <- 0.0;
+    Pqueue.insert q src 0.0;
+    let finished = ref false in
+    while (not !finished) && not (Pqueue.is_empty q) do
+      match Pqueue.pop_min q with
+      | None -> finished := true
+      | Some (u, du) ->
+          if u = dst then finished := true
+          else
+            List.iter
+              (fun (v, li) ->
+                let l = snap.Snapshot.links.(li) in
+                if
+                  (not (banned_nodes v))
+                  && not (banned_links (min u v, max u v))
+                then begin
+                  let alt = du +. link_cost weight l in
+                  if alt < dist.(v) then begin
+                    dist.(v) <- alt;
+                    prev.(v) <- u;
+                    Pqueue.insert_or_decrease q v alt
+                  end
+                end)
+              (Snapshot.neighbors snap u)
+    done;
+    if dist.(dst) = Float.infinity then None
+    else begin
+      let rec build acc u = if u = src then src :: acc else build (u :: acc) prev.(u) in
+      Some (Path.of_list (build [] dst))
+    end
+  end
+
+let distances ?(weight = Hops) snap ~src =
+  let n = Snapshot.num_nodes snap in
+  let dist = Array.make n Float.infinity in
+  let q = Pqueue.create n in
+  dist.(src) <- 0.0;
+  Pqueue.insert q src 0.0;
+  let continue = ref true in
+  while !continue do
+    match Pqueue.pop_min q with
+    | None -> continue := false
+    | Some (u, du) ->
+        List.iter
+          (fun (v, li) ->
+            let l = snap.Snapshot.links.(li) in
+            let alt = du +. link_cost weight l in
+            if alt < dist.(v) then begin
+              dist.(v) <- alt;
+              Pqueue.insert_or_decrease q v alt
+            end)
+          (Snapshot.neighbors snap u)
+  done;
+  dist
+
+let bfs_nearest snap ~src ~follow ~accept =
+  let n = Snapshot.num_nodes snap in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add (src, 0) queue;
+  visited.(src) <- true;
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let u, d = Queue.take queue in
+    if accept u then result := Some (u, d)
+    else
+      List.iter
+        (fun (v, li) ->
+          if (not visited.(v)) && follow snap.Snapshot.links.(li) then begin
+            visited.(v) <- true;
+            Queue.add (v, d + 1) queue
+          end)
+        (Snapshot.neighbors snap u)
+  done;
+  !result

@@ -1,0 +1,28 @@
+(** Shortest paths over a topology snapshot. *)
+
+type weight = Hops  (** Unit cost per link. *) | Km  (** Geometric length. *)
+
+val shortest :
+  ?weight:weight ->
+  ?banned_nodes:(int -> bool) ->
+  ?banned_links:(int * int -> bool) ->
+  Sate_topology.Snapshot.t ->
+  src:int ->
+  dst:int ->
+  Path.t option
+(** Dijkstra from [src] to [dst]; [banned_nodes]/[banned_links]
+    support Yen's spur computation.  Default weight is [Hops]. *)
+
+val distances :
+  ?weight:weight -> Sate_topology.Snapshot.t -> src:int -> float array
+(** One-to-all distances ([infinity] when unreachable). *)
+
+val bfs_nearest :
+  Sate_topology.Snapshot.t ->
+  src:int ->
+  follow:(Sate_topology.Link.t -> bool) ->
+  accept:(int -> bool) ->
+  (int * int) option
+(** Breadth-first search from [src] along links satisfying [follow];
+    returns the first node satisfying [accept] and its hop distance
+    (the recursive nearest-crossing search of Appendix C). *)

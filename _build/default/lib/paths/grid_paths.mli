@@ -1,0 +1,34 @@
+(** Fast k-shortest paths exploiting the multi-shell grid structure
+    (Appendix C).
+
+    Within a shell, satellites form a [planes x sats_per_plane] torus;
+    minimum-hop paths are monotone staircases and there are
+    [C(dx + dy, dx)] of them, enumerable without search.  Across
+    shells, the algorithm finds the nearest satellite with a
+    cross-shell link (or a relay whose footprint reaches the target
+    shell), crosses there, and enumerates staircases on the target
+    shell.  Candidates invalidated by deactivated inter-orbit links
+    are filtered against the snapshot; if fewer than [k] survive, the
+    result is topped up with Yen's algorithm so callers always get
+    loopless valid paths when connectivity exists. *)
+
+val intra_shell_candidates :
+  Sate_orbit.Constellation.t ->
+  src:int ->
+  dst:int ->
+  limit:int ->
+  Path.t list
+(** Staircase minimum-hop candidates between two satellites of the
+    same shell, ignoring link liveness (up to [limit]).  Raises
+    [Invalid_argument] if the satellites are in different shells. *)
+
+val k_shortest :
+  Sate_orbit.Constellation.t ->
+  Sate_topology.Snapshot.t ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  Path.t list
+(** Up to [k] valid loopless paths between two satellites (same or
+    different shells, laser or relay cross-shell regimes).  Empty only
+    when the pair is disconnected. *)

@@ -1,0 +1,67 @@
+module Snapshot = Sate_topology.Snapshot
+module Geo = Sate_geo.Geo
+
+type t = { nodes : int array }
+
+let of_list nodes =
+  let arr = Array.of_list nodes in
+  if Array.length arr < 2 then invalid_arg "Path.of_list: need at least two nodes";
+  for i = 0 to Array.length arr - 2 do
+    if arr.(i) = arr.(i + 1) then invalid_arg "Path.of_list: repeated node"
+  done;
+  { nodes = arr }
+
+let to_list t = Array.to_list t.nodes
+
+let source t = t.nodes.(0)
+
+let destination t = t.nodes.(Array.length t.nodes - 1)
+
+let hops t = Array.length t.nodes - 1
+
+let equal a b = a.nodes = b.nodes
+
+let compare a b = compare a.nodes b.nodes
+
+let is_loopless t =
+  let seen = Hashtbl.create (Array.length t.nodes) in
+  Array.for_all
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    t.nodes
+
+let valid_in snap t =
+  let ok = ref true in
+  for i = 0 to Array.length t.nodes - 2 do
+    if !ok && Snapshot.find_link snap t.nodes.(i) t.nodes.(i + 1) = None then
+      ok := false
+  done;
+  !ok
+
+let length_km snap t =
+  let total = ref 0.0 in
+  for i = 0 to Array.length t.nodes - 2 do
+    match Snapshot.find_link snap t.nodes.(i) t.nodes.(i + 1) with
+    | Some l -> total := !total +. l.Sate_topology.Link.length_km
+    | None -> invalid_arg "Path.length_km: missing hop"
+  done;
+  !total
+
+let delay_ms snap t = length_km snap t /. Geo.speed_of_light_km_s *. 1000.0
+
+let link_indices snap t =
+  Array.init (Array.length t.nodes - 1) (fun i ->
+      let u = t.nodes.(i) and v = t.nodes.(i + 1) in
+      match
+        List.find_opt (fun (nbr, _) -> nbr = v) (Snapshot.neighbors snap u)
+      with
+      | Some (_, li) -> li
+      | None -> invalid_arg "Path.link_indices: missing hop")
+
+let pp fmt t =
+  Format.fprintf fmt "[%s]"
+    (String.concat " -> " (Array.to_list (Array.map string_of_int t.nodes)))

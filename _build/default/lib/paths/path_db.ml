@@ -1,0 +1,64 @@
+module Constellation = Sate_orbit.Constellation
+module Snapshot = Sate_topology.Snapshot
+
+type t = {
+  constellation : Constellation.t;
+  k : int;
+  table : (int * int, Path.t list) Hashtbl.t;
+}
+
+let k t = t.k
+
+let pairs t =
+  let arr = Array.make (Hashtbl.length t.table) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun pair _ ->
+      arr.(!i) <- pair;
+      incr i)
+    t.table;
+  Array.sort compare arr;
+  arr
+
+let paths t ~src ~dst =
+  Option.value ~default:[] (Hashtbl.find_opt t.table (src, dst))
+
+let compute constellation snap ~pairs ~k =
+  let table = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (src, dst) ->
+      if not (Hashtbl.mem table (src, dst)) then
+        Hashtbl.replace table (src, dst)
+          (Grid_paths.k_shortest constellation snap ~src ~dst ~k))
+    pairs;
+  { constellation; k; table }
+
+let update t snap =
+  let table = Hashtbl.create (Hashtbl.length t.table) in
+  let recomputed = ref 0 in
+  Hashtbl.iter
+    (fun (src, dst) paths ->
+      let still_valid = List.filter (Path.valid_in snap) paths in
+      if List.length still_valid = List.length paths && paths <> [] then
+        Hashtbl.replace table (src, dst) paths
+      else begin
+        incr recomputed;
+        Hashtbl.replace table (src, dst)
+          (Grid_paths.k_shortest t.constellation snap ~src ~dst ~k:t.k)
+      end)
+    t.table;
+  ({ t with table }, !recomputed)
+
+let add_pairs t snap new_pairs =
+  let table = Hashtbl.copy t.table in
+  List.iter
+    (fun (src, dst) ->
+      if not (Hashtbl.mem table (src, dst)) then
+        Hashtbl.replace table (src, dst)
+          (Grid_paths.k_shortest t.constellation snap ~src ~dst ~k:t.k))
+    new_pairs;
+  { t with table }
+
+let stats t =
+  let total = Hashtbl.fold (fun _ ps acc -> acc + List.length ps) t.table 0 in
+  (Hashtbl.length t.table, total)

@@ -1,0 +1,39 @@
+(** Preconfigured-path store with incremental maintenance.
+
+    The TE workflow precomputes k candidate paths per
+    source-destination pair (Sec. 2.2 step 3).  Rather than
+    recomputing every pair each interval, {!update} revalidates the
+    stored paths against the new snapshot and recomputes only pairs
+    that lost a path — the paper reports under 2% of paths change per
+    second (Sec. 4, Appendix C). *)
+
+type t
+
+val k : t -> int
+
+val pairs : t -> (int * int) array
+(** The tracked source-destination pairs. *)
+
+val paths : t -> src:int -> dst:int -> Path.t list
+(** Stored candidate paths for a pair (possibly fewer than [k];
+    empty for untracked or disconnected pairs). *)
+
+val compute :
+  Sate_orbit.Constellation.t ->
+  Sate_topology.Snapshot.t ->
+  pairs:(int * int) list ->
+  k:int ->
+  t
+(** Populate the store for the given pairs using {!Grid_paths}. *)
+
+val update : t -> Sate_topology.Snapshot.t -> t * int
+(** Revalidate against a new snapshot; recompute pairs with invalid
+    paths.  Returns the new store and the number of pairs
+    recomputed. *)
+
+val add_pairs : t -> Sate_topology.Snapshot.t -> (int * int) list -> t
+(** Track additional pairs (new traffic demands), computing their
+    paths against the given snapshot. *)
+
+val stats : t -> int * int
+(** [(num_pairs, total_paths)] currently stored. *)

@@ -1,0 +1,1 @@
+lib/pruning/dpp.ml: Array Float Fun Graph_features List Sate_util

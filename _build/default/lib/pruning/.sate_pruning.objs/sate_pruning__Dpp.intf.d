@@ -1,0 +1,1 @@
+lib/pruning/dpp.mli:

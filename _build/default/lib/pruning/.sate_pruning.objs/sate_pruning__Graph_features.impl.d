@@ -1,0 +1,1 @@
+lib/pruning/graph_features.ml: Array Char List Sate_topology String

@@ -1,0 +1,1 @@
+lib/pruning/graph_features.mli: Sate_topology

@@ -1,0 +1,1 @@
+lib/pruning/volume.ml: Array Float Format Sate_paths Sate_te Sate_topology Sate_traffic

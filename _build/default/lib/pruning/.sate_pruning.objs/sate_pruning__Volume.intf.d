@@ -1,0 +1,1 @@
+lib/pruning/volume.mli: Format Sate_te Sate_traffic

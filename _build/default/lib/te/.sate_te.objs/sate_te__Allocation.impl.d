@@ -1,0 +1,1 @@
+lib/te/allocation.ml: Array Float Instance Sate_paths Sate_topology

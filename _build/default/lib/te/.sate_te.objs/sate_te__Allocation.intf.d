@@ -1,0 +1,1 @@
+lib/te/allocation.mli: Instance Sate_topology

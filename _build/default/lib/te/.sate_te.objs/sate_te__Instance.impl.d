@@ -1,0 +1,1 @@
+lib/te/instance.ml: Array Float Hashtbl List Sate_paths Sate_topology Sate_traffic

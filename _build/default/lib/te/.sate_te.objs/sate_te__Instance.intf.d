@@ -1,0 +1,1 @@
+lib/te/instance.mli: Sate_paths Sate_topology Sate_traffic

@@ -1,0 +1,1 @@
+lib/te/lp_solver.mli: Allocation Instance

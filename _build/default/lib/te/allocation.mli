@@ -1,0 +1,59 @@
+(** Traffic allocations and the feasibility / quality metrics of
+    Section 4 ("Performance Metrics") and Appendix H.
+
+    An allocation assigns x_fp Mbps of commodity f to its candidate
+    path p.  Learned models emit soft allocations that may violate
+    constraints; {!trim} is the correction step of §3.3 that projects
+    any allocation onto the feasible region before metrics are
+    taken. *)
+
+type t = float array array
+(** [t.(f).(p)] is the rate of commodity [f] on its path [p]; the
+    ragged shape mirrors [Instance.commodities]. *)
+
+val zeros : Instance.t -> t
+
+val scale_to_demand : Instance.t -> t -> t
+(** Clamp negatives and scale each commodity down so its total does
+    not exceed its demand (constraint 2.e). *)
+
+val link_loads : Instance.t -> t -> float array
+(** Load per snapshot link index. *)
+
+val node_loads : Instance.t -> t -> float array * float array
+(** [(uplink, downlink)] load per node: total rate sourced at /
+    destined to the node (constraints 2.c, 2.d). *)
+
+val is_feasible : ?eps:float -> Instance.t -> t -> bool
+(** All of (2.b)-(2.f) hold within tolerance. *)
+
+val trim : Instance.t -> t -> t
+(** Correction for constraint violation (§3.3): proportional scaling
+    on overloaded links/nodes followed by a sequential exact pass, so
+    the result always satisfies {!is_feasible}. *)
+
+val total_flow : t -> float
+
+val satisfied_ratio : Instance.t -> t -> float
+(** Total allocated flow over total demand (the paper's "satisfied
+    demand"); 1.0 when there is no demand. *)
+
+val per_commodity_ratio : Instance.t -> t -> float array
+(** Flow-level satisfied demand (Fig. 16a). *)
+
+val mlu : Instance.t -> t -> float
+(** Maximum link utilisation over links with finite capacity; 0 for
+    an empty allocation. *)
+
+val scale_to_full_demand : Instance.t -> t -> t
+(** Rescale each commodity so its paths carry exactly its demand
+    (commodities with zero predicted mass split demand equally over
+    their paths).  Used to compare MLU across methods: utilisation is
+    only meaningful between allocations carrying the same traffic, and
+    may exceed 1. *)
+
+val restrict_to_valid :
+  Instance.t -> Sate_topology.Snapshot.t -> t -> t
+(** Zero the rates of paths that are no longer valid in another
+    snapshot — how a stale allocation degrades while a slow TE method
+    is still computing (online evaluation, Sec. 5.4). *)

@@ -1,0 +1,86 @@
+module Snapshot = Sate_topology.Snapshot
+module Demand = Sate_traffic.Demand
+module Path = Sate_paths.Path
+module Path_db = Sate_paths.Path_db
+
+type commodity = {
+  src : int;
+  dst : int;
+  demand_mbps : float;
+  paths : Path.t array;
+  path_links : int array array;
+}
+
+type t = {
+  snapshot : Snapshot.t;
+  commodities : commodity array;
+  up_caps : float array;
+  down_caps : float array;
+}
+
+let make ?up_caps ?down_caps snapshot demand path_db =
+  let n = Snapshot.num_nodes snapshot in
+  let default_caps () = Array.make n Float.infinity in
+  let up_caps =
+    match up_caps with
+    | Some c ->
+        if Array.length c < n then begin
+          (* Caps computed per satellite; relays get unbounded caps. *)
+          let ext = default_caps () in
+          Array.blit c 0 ext 0 (Array.length c);
+          ext
+        end
+        else c
+    | None -> default_caps ()
+  in
+  let down_caps =
+    match down_caps with
+    | Some c ->
+        if Array.length c < n then begin
+          let ext = default_caps () in
+          Array.blit c 0 ext 0 (Array.length c);
+          ext
+        end
+        else c
+    | None -> default_caps ()
+  in
+  let commodities =
+    Array.map
+      (fun (e : Demand.entry) ->
+        let paths =
+          Path_db.paths path_db ~src:e.Demand.src ~dst:e.Demand.dst
+          |> List.filter (Path.valid_in snapshot)
+          |> Array.of_list
+        in
+        let path_links = Array.map (Path.link_indices snapshot) paths in
+        { src = e.Demand.src;
+          dst = e.Demand.dst;
+          demand_mbps = e.Demand.demand_mbps;
+          paths;
+          path_links })
+      demand.Demand.entries
+  in
+  { snapshot; commodities; up_caps; down_caps }
+
+let num_commodities t = Array.length t.commodities
+
+let num_paths t =
+  Array.fold_left (fun acc c -> acc + Array.length c.paths) 0 t.commodities
+
+let total_demand t =
+  Array.fold_left (fun acc c -> acc +. c.demand_mbps) 0.0 t.commodities
+
+let used_links t =
+  let set = Hashtbl.create 256 in
+  Array.iter
+    (fun c ->
+      Array.iter (fun links -> Array.iter (fun li -> Hashtbl.replace set li ()) links) c.path_links)
+    t.commodities;
+  let arr = Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) set []) in
+  Array.sort compare arr;
+  arr
+
+let routable_demand t =
+  Array.fold_left
+    (fun acc c -> if Array.length c.paths > 0 then acc +. c.demand_mbps else acc)
+    0.0 t.commodities

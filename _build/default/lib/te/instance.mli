@@ -1,0 +1,51 @@
+(** A concrete TE problem instance (Appendix A).
+
+    One instance freezes the three TE inputs of Fig. 3: the topology
+    snapshot, the traffic matrix (as commodities = non-zero demand
+    entries, i.e. already traffic-pruned per §3.4), and the
+    preconfigured candidate paths per commodity.  Per-satellite uplink
+    and downlink capacities realise constraints (2.c) and (2.d). *)
+
+type commodity = {
+  src : int;
+  dst : int;
+  demand_mbps : float;
+  paths : Sate_paths.Path.t array;  (** Candidate paths P_f. *)
+  path_links : int array array;
+      (** [path_links.(p)] = indices into [snapshot.links] of path p's
+          hops (the Phi_pe incidence). *)
+}
+
+type t = {
+  snapshot : Sate_topology.Snapshot.t;
+  commodities : commodity array;
+  up_caps : float array;  (** Per-node uplink capacity (2.c). *)
+  down_caps : float array;  (** Per-node downlink capacity (2.d). *)
+}
+
+val make :
+  ?up_caps:float array ->
+  ?down_caps:float array ->
+  Sate_topology.Snapshot.t ->
+  Sate_traffic.Demand.t ->
+  Sate_paths.Path_db.t ->
+  t
+(** Build an instance: one commodity per demand entry, with its
+    candidate paths taken from the database (entries whose stored
+    paths are invalid in this snapshot keep only the valid ones).
+    Capacities default to unbounded. *)
+
+val num_commodities : t -> int
+
+val num_paths : t -> int
+(** Total candidate paths across commodities (the LP variable count). *)
+
+val total_demand : t -> float
+
+val used_links : t -> int array
+(** Sorted indices of links appearing in any candidate path — the
+    only links that need capacity constraints (path pruning, §3.4). *)
+
+val routable_demand : t -> float
+(** Demand of commodities that have at least one candidate path — the
+    best any path-based method can possibly satisfy. *)

@@ -1,0 +1,215 @@
+module Snapshot = Sate_topology.Snapshot
+module Link = Sate_topology.Link
+module Simplex = Sate_lp.Simplex
+
+type objective = Max_throughput | Min_mlu | Max_log_utility
+
+(* Variable layout: candidate paths flattened commodity-major;
+   [offsets.(f)] is the first variable of commodity [f]. *)
+let layout (inst : Instance.t) =
+  let nc = Array.length inst.Instance.commodities in
+  let offsets = Array.make nc 0 in
+  let n = ref 0 in
+  for f = 0 to nc - 1 do
+    offsets.(f) <- !n;
+    n := !n + Array.length inst.Instance.commodities.(f).Instance.paths
+  done;
+  (offsets, !n)
+
+let link_rows (inst : Instance.t) ~n_vars ~mlu_var offsets =
+  let used = Instance.used_links inst in
+  let rows = Hashtbl.create (Array.length used) in
+  Array.iter (fun li -> Hashtbl.replace rows li (Array.make n_vars 0.0)) used;
+  Array.iteri
+    (fun f (c : Instance.commodity) ->
+      Array.iteri
+        (fun p links ->
+          let v = offsets.(f) + p in
+          Array.iter
+            (fun li ->
+              let row = Hashtbl.find rows li in
+              row.(v) <- row.(v) +. 1.0)
+            links)
+        c.Instance.path_links)
+    inst.Instance.commodities;
+  Array.to_list used
+  |> List.map (fun li ->
+         let row = Hashtbl.find rows li in
+         let cap = inst.Instance.snapshot.Snapshot.links.(li).Link.capacity_mbps in
+         match mlu_var with
+         | None -> { Simplex.coeffs = row; sense = Simplex.Le; rhs = cap }
+         | Some tv ->
+             (* load - cap * t <= 0 *)
+             row.(tv) <- -.cap;
+             { Simplex.coeffs = row; sense = Simplex.Le; rhs = 0.0 })
+
+let node_rows (inst : Instance.t) ~n_vars offsets =
+  let n = Snapshot.num_nodes inst.Instance.snapshot in
+  let up_rows = Array.make n None and down_rows = Array.make n None in
+  let touch rows node =
+    match rows.(node) with
+    | Some r -> r
+    | None ->
+        let r = Array.make n_vars 0.0 in
+        rows.(node) <- Some r;
+        r
+  in
+  Array.iteri
+    (fun f (c : Instance.commodity) ->
+      if Array.length c.Instance.paths > 0 then begin
+        let finite_up = Float.is_finite inst.Instance.up_caps.(c.Instance.src) in
+        let finite_down = Float.is_finite inst.Instance.down_caps.(c.Instance.dst) in
+        for p = 0 to Array.length c.Instance.paths - 1 do
+          let v = offsets.(f) + p in
+          if finite_up then (touch up_rows c.Instance.src).(v) <- 1.0;
+          if finite_down then (touch down_rows c.Instance.dst).(v) <- 1.0
+        done
+      end)
+    inst.Instance.commodities;
+  let collect rows caps =
+    Array.to_list
+      (Array.mapi
+         (fun node row ->
+           Option.map
+             (fun coeffs ->
+               { Simplex.coeffs; sense = Simplex.Le; rhs = caps.(node) })
+             row)
+         rows)
+    |> List.filter_map Fun.id
+  in
+  collect up_rows inst.Instance.up_caps @ collect down_rows inst.Instance.down_caps
+
+let demand_rows (inst : Instance.t) ~n_vars ~sense offsets =
+  Array.to_list
+    (Array.mapi
+       (fun f (c : Instance.commodity) ->
+         if Array.length c.Instance.paths = 0 then None
+         else begin
+           let coeffs = Array.make n_vars 0.0 in
+           for p = 0 to Array.length c.Instance.paths - 1 do
+             coeffs.(offsets.(f) + p) <- 1.0
+           done;
+           Some { Simplex.coeffs; sense; rhs = c.Instance.demand_mbps }
+         end)
+       inst.Instance.commodities)
+  |> List.filter_map Fun.id
+
+let to_allocation (inst : Instance.t) offsets solution =
+  Array.mapi
+    (fun f (c : Instance.commodity) ->
+      Array.init (Array.length c.Instance.paths) (fun p -> solution.(offsets.(f) + p)))
+    inst.Instance.commodities
+
+(* Tangent fractions of the demand at which log utility is
+   linearised; the concave hull of these cuts approximates u = log x
+   from above. *)
+let log_utility_tangents = [ 0.05; 0.2; 0.5; 1.0 ]
+
+(* Shift added to every commodity's utility variable so it stays
+   non-negative in the simplex (log of small rates is negative). *)
+let log_utility_shift = 25.0
+
+let solve_with_value ?(objective = Max_throughput) inst =
+  let offsets, n_paths = layout inst in
+  if n_paths = 0 then (Allocation.zeros inst, 0.0)
+  else
+    match objective with
+    | Max_throughput -> (
+        let n_vars = n_paths in
+        let c = Array.make n_vars 1.0 in
+        let constraints =
+          link_rows inst ~n_vars ~mlu_var:None offsets
+          @ node_rows inst ~n_vars offsets
+          @ demand_rows inst ~n_vars ~sense:Simplex.Le offsets
+        in
+        match Simplex.solve ~c ~constraints () with
+        | Simplex.Optimal { solution; _ } ->
+            let alloc = Allocation.trim inst (to_allocation inst offsets solution) in
+            (alloc, Allocation.total_flow alloc)
+        | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
+            (* The throughput LP is always feasible (x = 0); treat any
+               numerical failure as an empty allocation. *)
+            (Allocation.zeros inst, 0.0))
+    | Min_mlu -> (
+        let n_vars = n_paths + 1 in
+        let tv = n_paths in
+        let c = Array.make n_vars 0.0 in
+        c.(tv) <- 1.0;
+        let constraints =
+          link_rows inst ~n_vars ~mlu_var:(Some tv) offsets
+          @ demand_rows inst ~n_vars ~sense:Simplex.Eq offsets
+        in
+        match Simplex.solve ~maximize:false ~c ~constraints () with
+        | Simplex.Optimal { objective = t; solution } ->
+            (to_allocation inst offsets solution, t)
+        | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
+            (Allocation.zeros inst, Float.infinity))
+    | Max_log_utility -> (
+        (* Variables: path rates, then one shifted utility u_f' per
+           routable commodity.  maximize sum u_f' subject to the
+           throughput constraints plus, for each tangent fraction a,
+           u_f' - (sum_p x_fp) / (a d_f) <= log (a d_f) - 1 + shift. *)
+        let commodities = inst.Instance.commodities in
+        let routable =
+          Array.to_list
+            (Array.mapi (fun f c -> (f, c)) commodities)
+          |> List.filter (fun (_, (c : Instance.commodity)) ->
+                 Array.length c.Instance.paths > 0 && c.Instance.demand_mbps > 0.0)
+        in
+        let n_util = List.length routable in
+        let n_vars = n_paths + n_util in
+        let util_index = Hashtbl.create n_util in
+        List.iteri (fun i (f, _) -> Hashtbl.replace util_index f (n_paths + i)) routable;
+        let c = Array.make n_vars 0.0 in
+        List.iter (fun (f, _) -> c.(Hashtbl.find util_index f) <- 1.0) routable;
+        let widen row =
+          let r = Array.make n_vars 0.0 in
+          Array.blit row 0 r 0 (Array.length row);
+          r
+        in
+        let base_rows =
+          List.map
+            (fun { Simplex.coeffs; sense; rhs } ->
+              { Simplex.coeffs = widen coeffs; sense; rhs })
+            (link_rows inst ~n_vars:n_paths ~mlu_var:None offsets
+            @ node_rows inst ~n_vars:n_paths offsets
+            @ demand_rows inst ~n_vars:n_paths ~sense:Simplex.Le offsets)
+        in
+        let tangent_rows =
+          List.concat_map
+            (fun (f, (cm : Instance.commodity)) ->
+              let uf = Hashtbl.find util_index f in
+              List.map
+                (fun a ->
+                  let anchor = a *. cm.Instance.demand_mbps in
+                  let row = Array.make n_vars 0.0 in
+                  row.(uf) <- 1.0;
+                  for p = 0 to Array.length cm.Instance.paths - 1 do
+                    row.(offsets.(f) + p) <- -1.0 /. anchor
+                  done;
+                  { Simplex.coeffs = row;
+                    sense = Simplex.Le;
+                    rhs = log anchor -. 1.0 +. log_utility_shift })
+                log_utility_tangents)
+            routable
+        in
+        match Simplex.solve ~c ~constraints:(base_rows @ tangent_rows) () with
+        | Simplex.Optimal { solution; _ } ->
+            let alloc =
+              Allocation.trim inst
+                (to_allocation inst offsets (Array.sub solution 0 n_paths))
+            in
+            (* Report the true achieved utility, not the piecewise
+               surrogate. *)
+            let utility =
+              Array.fold_left
+                (fun acc rates ->
+                  let x = Array.fold_left ( +. ) 0.0 rates in
+                  if x > 0.0 then acc +. log x else acc)
+                0.0 alloc
+            in
+            (alloc, utility)
+        | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
+            (Allocation.zeros inst, Float.neg_infinity))
+
+let solve ?objective inst = fst (solve_with_value ?objective inst)

@@ -1,0 +1,30 @@
+(** Exact TE optimisation via the simplex LP solver — the
+    repository's stand-in for Gurobi [24].
+
+    Solves the path-based formulation of Appendix A exactly: it is the
+    ground-truth label generator for SaTE's supervised training, the
+    offline optimum ("theoretical upper bound") of Appendix H.1, and
+    the slowest-but-best baseline of Figs. 8 and 10. *)
+
+type objective =
+  | Max_throughput  (** Objective (2.a). *)
+  | Min_mlu
+      (** Min-max link utilisation (Eq. 3): all demand is routed and
+          the maximum utilisation is minimised; per-node capacity
+          constraints are dropped as in the paper's MLU variant. *)
+  | Max_log_utility
+      (** Network-utility maximisation with u_f = log (Eq. 3): the
+          concave utility gives a soft fairness guarantee (Appendix A
+          discussion).  Solved by outer piecewise-linear tangent
+          approximation of the log. *)
+
+val solve :
+  ?objective:objective -> Instance.t -> Allocation.t
+(** Optimal feasible allocation.  Commodities without candidate paths
+    get zero.  For [Min_mlu], commodities are scaled down uniformly
+    first if routing all demand is infeasible. *)
+
+val solve_with_value :
+  ?objective:objective -> Instance.t -> Allocation.t * float
+(** Also return the objective value: total throughput in Mbps, the
+    achieved MLU, or the achieved sum of log-rates. *)

@@ -1,0 +1,184 @@
+module Rng = Sate_util.Rng
+
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let full rows cols v = { rows; cols; data = Array.make (rows * cols) v }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun i -> f (i / cols) (i mod cols)) }
+
+let of_array ~rows ~cols data =
+  if Array.length data <> rows * cols then
+    invalid_arg "Tensor.of_array: length mismatch";
+  { rows; cols; data }
+
+let of_column v = { rows = Array.length v; cols = 1; data = Array.copy v }
+
+let copy t = { t with data = Array.copy t.data }
+
+let get t i j = t.data.((i * t.cols) + j)
+
+let set t i j v = t.data.((i * t.cols) + j) <- v
+
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if not (same_shape a b) then invalid_arg "Tensor.map2: shape mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let mul a b = map2 ( *. ) a b
+
+let scale k t = map (fun v -> k *. v) t
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Tensor.matmul: inner dimension mismatch";
+  let out = create a.rows b.cols in
+  (* ikj loop order for cache-friendly access on row-major data. *)
+  for i = 0 to a.rows - 1 do
+    for kk = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + kk) in
+      if aik <> 0.0 then begin
+        let arow = i * b.cols and brow = kk * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  out
+
+let transpose t = init t.cols t.rows (fun i j -> get t j i)
+
+let add_rowvec m v =
+  if v.rows <> 1 || v.cols <> m.cols then
+    invalid_arg "Tensor.add_rowvec: vector must be 1 x cols";
+  init m.rows m.cols (fun i j -> get m i j +. get v 0 j)
+
+let col_mul m v =
+  if v.cols <> 1 || v.rows <> m.rows then
+    invalid_arg "Tensor.col_mul: vector must be rows x 1";
+  init m.rows m.cols (fun i j -> get m i j *. get v i 0)
+
+let gather_rows m idx =
+  let out = create (Array.length idx) m.cols in
+  Array.iteri
+    (fun i r ->
+      if r < 0 || r >= m.rows then invalid_arg "Tensor.gather_rows: index out of range";
+      Array.blit m.data (r * m.cols) out.data (i * m.cols) m.cols)
+    idx;
+  out
+
+let scatter_add_rows m idx ~rows =
+  if Array.length idx <> m.rows then
+    invalid_arg "Tensor.scatter_add_rows: index length mismatch";
+  let out = create rows m.cols in
+  Array.iteri
+    (fun i r ->
+      if r < 0 || r >= rows then
+        invalid_arg "Tensor.scatter_add_rows: index out of range";
+      for j = 0 to m.cols - 1 do
+        out.data.((r * m.cols) + j) <-
+          out.data.((r * m.cols) + j) +. m.data.((i * m.cols) + j)
+      done)
+    idx;
+  out
+
+let concat_cols ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat_cols: empty"
+  | first :: _ ->
+      let rows = first.rows in
+      List.iter
+        (fun t -> if t.rows <> rows then invalid_arg "Tensor.concat_cols: row mismatch")
+        ts;
+      let cols = List.fold_left (fun acc t -> acc + t.cols) 0 ts in
+      let out = create rows cols in
+      let off = ref 0 in
+      List.iter
+        (fun t ->
+          for i = 0 to rows - 1 do
+            Array.blit t.data (i * t.cols) out.data ((i * cols) + !off) t.cols
+          done;
+          off := !off + t.cols)
+        ts;
+      out
+
+let split_cols t widths =
+  let total = List.fold_left ( + ) 0 widths in
+  if total <> t.cols then invalid_arg "Tensor.split_cols: widths mismatch";
+  let off = ref 0 in
+  List.map
+    (fun w ->
+      let out = create t.rows w in
+      for i = 0 to t.rows - 1 do
+        Array.blit t.data ((i * t.cols) + !off) out.data (i * w) w
+      done;
+      off := !off + w;
+      out)
+    widths
+
+let row_sums t =
+  let out = create t.rows 1 in
+  for i = 0 to t.rows - 1 do
+    let s = ref 0.0 in
+    for j = 0 to t.cols - 1 do
+      s := !s +. t.data.((i * t.cols) + j)
+    done;
+    out.data.(i) <- !s
+  done;
+  out
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let mean t =
+  if Array.length t.data = 0 then 0.0
+  else sum t /. float_of_int (Array.length t.data)
+
+let frobenius t = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 t.data)
+
+let segment_softmax scores seg =
+  if scores.cols <> 1 then invalid_arg "Tensor.segment_softmax: need m x 1";
+  if Array.length seg <> scores.rows then
+    invalid_arg "Tensor.segment_softmax: segment length mismatch";
+  let m = scores.rows in
+  let out = create m 1 in
+  if m > 0 then begin
+    let max_seg = Array.fold_left max 0 seg in
+    let seg_max = Array.make (max_seg + 1) Float.neg_infinity in
+    for i = 0 to m - 1 do
+      if scores.data.(i) > seg_max.(seg.(i)) then seg_max.(seg.(i)) <- scores.data.(i)
+    done;
+    let seg_sum = Array.make (max_seg + 1) 0.0 in
+    for i = 0 to m - 1 do
+      let e = exp (scores.data.(i) -. seg_max.(seg.(i))) in
+      out.data.(i) <- e;
+      seg_sum.(seg.(i)) <- seg_sum.(seg.(i)) +. e
+    done;
+    for i = 0 to m - 1 do
+      out.data.(i) <- out.data.(i) /. seg_sum.(seg.(i))
+    done
+  end;
+  out
+
+let xavier rng fan_in fan_out =
+  let bound = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  init fan_in fan_out (fun _ _ -> Rng.uniform rng (-.bound) bound)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to min (t.rows - 1) 7 do
+    Format.fprintf fmt "[";
+    for j = 0 to min (t.cols - 1) 7 do
+      Format.fprintf fmt "%8.4f " (get t i j)
+    done;
+    Format.fprintf fmt "]@,"
+  done;
+  Format.fprintf fmt "(%dx%d)@]" t.rows t.cols

@@ -1,0 +1,90 @@
+(** Dense row-major 2D float tensors.
+
+    The minimal kernel set needed by the GNN framework: elementwise
+    arithmetic, matrix multiplication, row gather/scatter (message
+    passing), and segment softmax (attention normalisation).  This is
+    the repository's stand-in for the GPU tensor engine; operations
+    are single-threaded but the graph sizes after SaTE's dataset
+    pruning keep them fast. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+(** Zero-filled [rows x cols] tensor. *)
+
+val full : int -> int -> float -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Wrap (not copy) a row-major array; length must match. *)
+
+val of_column : float array -> t
+(** [n x 1] tensor copying the given values. *)
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val same_shape : t -> t -> bool
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Raises [Invalid_argument] on shape mismatch. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+(** Elementwise (Hadamard) product. *)
+
+val scale : float -> t -> t
+
+val matmul : t -> t -> t
+(** [a.cols] must equal [b.rows]. *)
+
+val transpose : t -> t
+
+val add_rowvec : t -> t -> t
+(** [add_rowvec m v] adds the [1 x cols] vector [v] to every row. *)
+
+val col_mul : t -> t -> t
+(** [col_mul m v] scales row [i] of [m] by [v.(i, 0)] ([rows x 1]). *)
+
+val gather_rows : t -> int array -> t
+(** [gather_rows m idx] stacks rows [m.(idx.(0)); m.(idx.(1)); ...]. *)
+
+val scatter_add_rows : t -> int array -> rows:int -> t
+(** [scatter_add_rows m idx ~rows] accumulates row [i] of [m] into row
+    [idx.(i)] of a zero [rows x m.cols] tensor. *)
+
+val concat_cols : t list -> t
+(** Horizontal concatenation; all tensors share the row count. *)
+
+val split_cols : t -> int list -> t list
+(** Inverse of {!concat_cols} given the column widths. *)
+
+val row_sums : t -> t
+(** [rows x 1] sums of each row. *)
+
+val sum : t -> float
+
+val mean : t -> float
+
+val frobenius : t -> float
+(** Square root of the sum of squares. *)
+
+val segment_softmax : t -> int array -> t
+(** [segment_softmax scores seg] where [scores] is [m x 1]: softmax
+    normalisation within groups of equal [seg.(i)] (numerically
+    stabilised).  Used for attention over each node's incoming
+    edges. *)
+
+val xavier : Sate_util.Rng.t -> int -> int -> t
+(** Glorot-uniform initialisation for a [fan_in x fan_out] weight. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topology/analysis.ml: Array Builder Hashtbl Link List Option Sate_util Snapshot

@@ -1,0 +1,1 @@
+lib/topology/analysis.mli: Builder Sate_util Snapshot

@@ -1,0 +1,1 @@
+lib/topology/builder.ml: Array Float Hashtbl Link List Option Relay_sites Sate_geo Sate_orbit Snapshot Spatial_index

@@ -1,0 +1,1 @@
+lib/topology/builder.mli: Sate_geo Sate_orbit Snapshot

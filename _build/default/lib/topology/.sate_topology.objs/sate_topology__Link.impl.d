@@ -1,0 +1,1 @@
+lib/topology/link.ml: Sate_geo

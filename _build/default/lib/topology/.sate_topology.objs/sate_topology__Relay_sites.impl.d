@@ -1,0 +1,1 @@
+lib/topology/relay_sites.ml: Array Sate_geo Sate_util

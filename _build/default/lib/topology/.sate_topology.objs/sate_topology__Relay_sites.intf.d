@@ -1,0 +1,1 @@
+lib/topology/relay_sites.mli: Sate_geo

@@ -1,0 +1,1 @@
+lib/topology/snapshot.ml: Array Hashtbl Link List Sate_geo

@@ -1,0 +1,1 @@
+lib/topology/snapshot.mli: Link Sate_geo

@@ -1,0 +1,1 @@
+lib/topology/spatial_index.ml: Array Float Hashtbl List Option Sate_geo

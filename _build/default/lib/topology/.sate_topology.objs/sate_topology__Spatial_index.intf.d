@@ -1,0 +1,1 @@
+lib/topology/spatial_index.mli: Sate_geo

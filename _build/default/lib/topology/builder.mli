@@ -1,0 +1,58 @@
+(** Stateful topology-snapshot generator.
+
+    Implements the link rules of Sections 2.1 and 2.3.1:
+
+    - intra-orbit ISLs are permanent;
+    - inter-orbit ISLs deactivate while either endpoint is above the
+      high-latitude threshold (default 75 degrees);
+    - cross-shell lasers pair each satellite with the nearest
+      satellite of the adjacent shell and, thanks to hysteresis, hold
+      until the distance exceeds the laser range (default 2,000 km);
+    - bent-pipe relay links pair each satellite with the nearest
+      ground relay and hold while the elevation angle stays above the
+      threshold (default 25 degrees).
+
+    Hysteresis means snapshots must be requested in non-decreasing
+    time order; the builder keeps the current pairings between calls
+    exactly as real laser terminals keep lock until geometry breaks. *)
+
+type cross_shell_mode =
+  | Lasers  (** Fig. 2 (b): direct lasers between adjacent shells. *)
+  | Ground_relays  (** Fig. 2 (c): bent-pipe via ground relays. *)
+  | Isolated_shells  (** No cross-shell connectivity (analysis only). *)
+
+type config = {
+  cross_shell : cross_shell_mode;
+  high_latitude_deg : float;  (** Inter-orbit cut-off, default 75. *)
+  laser_max_km : float;  (** Cross-shell laser range, default 2000. *)
+  relay_min_elevation_deg : float;  (** Bent-pipe cut-off, default 25. *)
+  isl_capacity_mbps : float;  (** Default 200 (scaled units, Sec. 4). *)
+  relay_capacity_mbps : float;  (** Default 200. *)
+}
+
+val default_config : config
+(** Paper defaults: lasers, 75 deg, 2000 km, 25 deg, 200 Mbps. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?relays:Sate_geo.Geo.vec3 array ->
+  Sate_orbit.Constellation.t ->
+  t
+(** [create constellation] prepares a generator.  [relays] defaults to
+    the 222 default sites when the mode is [Ground_relays], and to
+    none otherwise. *)
+
+val config : t -> config
+
+val constellation : t -> Sate_orbit.Constellation.t
+
+val num_relays : t -> int
+
+val snapshot : t -> time_s:float -> Snapshot.t
+(** Produce the topology at [time_s].  Calls must use non-decreasing
+    times (hysteresis); a decreasing time raises [Invalid_argument]. *)
+
+val reset : t -> unit
+(** Forget pairing state so time may restart from zero. *)

@@ -1,0 +1,24 @@
+module Geo = Sate_geo.Geo
+
+type kind = Intra_orbit | Inter_orbit | Cross_shell_laser | Relay
+
+type t = {
+  u : int;
+  v : int;
+  kind : kind;
+  capacity_mbps : float;
+  length_km : float;
+}
+
+let kind_to_string = function
+  | Intra_orbit -> "intra-orbit"
+  | Inter_orbit -> "inter-orbit"
+  | Cross_shell_laser -> "cross-shell-laser"
+  | Relay -> "relay"
+
+let key t = if t.u <= t.v then (t.u, t.v) else (t.v, t.u)
+
+let compare_key (a1, b1) (a2, b2) =
+  match compare a1 a2 with 0 -> compare b1 b2 | c -> c
+
+let delay_ms t = t.length_km /. Geo.speed_of_light_km_s *. 1000.0

@@ -1,0 +1,13 @@
+module Geo = Sate_geo.Geo
+module Population = Sate_geo.Population
+module Rng = Sate_util.Rng
+
+let default_count = 222
+
+let generate ?(count = default_count) ?(smoothing = 5.0) ~seed () =
+  let rng = Rng.create seed in
+  let pop = Population.synthetic ~seed in
+  let sampler = Population.make_sampler pop ~smoothing ~land_only:true in
+  Array.init count (fun _ ->
+      let lat_deg, lon_deg = Population.sample sampler rng in
+      Geo.of_lat_lon ~lat_deg ~lon_deg ~alt_km:0.0)

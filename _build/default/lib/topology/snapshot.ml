@@ -1,0 +1,87 @@
+module Geo = Sate_geo.Geo
+
+type t = {
+  time_s : float;
+  num_sats : int;
+  num_relays : int;
+  sat_positions : Geo.vec3 array;
+  relay_positions : Geo.vec3 array;
+  links : Link.t array;
+  adj : (int * int) list array;
+}
+
+let num_nodes t = t.num_sats + t.num_relays
+
+let make ~time_s ~num_sats ~sat_positions ~relay_positions ~links =
+  let num_relays = Array.length relay_positions in
+  let n = num_sats + num_relays in
+  let links = Array.of_list links in
+  let seen = Hashtbl.create (Array.length links) in
+  Array.iter
+    (fun l ->
+      if l.Link.u = l.Link.v then invalid_arg "Snapshot.make: self-loop";
+      if l.Link.u < 0 || l.Link.u >= n || l.Link.v < 0 || l.Link.v >= n then
+        invalid_arg "Snapshot.make: endpoint out of range";
+      let k = Link.key l in
+      if Hashtbl.mem seen k then invalid_arg "Snapshot.make: duplicate link";
+      Hashtbl.add seen k ())
+    links;
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i l ->
+      adj.(l.Link.u) <- (l.Link.v, i) :: adj.(l.Link.u);
+      adj.(l.Link.v) <- (l.Link.u, i) :: adj.(l.Link.v))
+    links;
+  { time_s; num_sats; num_relays; sat_positions; relay_positions; links; adj }
+
+let position t i =
+  if i < t.num_sats then t.sat_positions.(i)
+  else t.relay_positions.(i - t.num_sats)
+
+let neighbors t i = t.adj.(i)
+
+let find_link t u v =
+  List.find_map
+    (fun (nbr, li) -> if nbr = v then Some t.links.(li) else None)
+    t.adj.(u)
+
+let link_keys t =
+  let keys = Array.map Link.key t.links in
+  Array.sort Link.compare_key keys;
+  keys
+
+let equal_topology a b =
+  Array.length a.links = Array.length b.links
+  && link_keys a = link_keys b
+
+let diff a b =
+  let ka = link_keys a and kb = link_keys b in
+  let in_b = Hashtbl.create (Array.length kb) in
+  Array.iter (fun k -> Hashtbl.replace in_b k ()) kb;
+  let in_a = Hashtbl.create (Array.length ka) in
+  Array.iter (fun k -> Hashtbl.replace in_a k ()) ka;
+  let removed = Array.fold_left (fun acc k -> if Hashtbl.mem in_b k then acc else acc + 1) 0 ka in
+  let added = Array.fold_left (fun acc k -> if Hashtbl.mem in_a k then acc else acc + 1) 0 kb in
+  (added, removed)
+
+let degree t i = List.length t.adj.(i)
+
+let remove_links t pairs =
+  let doomed = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace doomed (min u v, max u v) ())
+    pairs;
+  let links =
+    Array.to_list t.links
+    |> List.filter (fun l -> not (Hashtbl.mem doomed (Link.key l)))
+  in
+  make ~time_s:t.time_s ~num_sats:t.num_sats ~sat_positions:t.sat_positions
+    ~relay_positions:t.relay_positions ~links
+
+let path_valid t path =
+  let rec ok = function
+    | [] | [ _ ] -> true
+    | u :: (v :: _ as rest) -> (
+        match find_link t u v with Some _ -> ok rest | None -> false)
+  in
+  ok path

@@ -1,0 +1,91 @@
+module Geo = Sate_geo.Geo
+
+(* 3D grid hash over ECEF space.  Cell edge of 500 km keeps bucket
+   populations small for LEO shells while the ring lower bound
+   [(ring - 1) * cell_km] stays tight. *)
+let cell_km = 500.0
+
+type t = {
+  positions : Geo.vec3 array;
+  buckets : (int * int * int, int list) Hashtbl.t;
+}
+
+let cell_of (p : Geo.vec3) =
+  ( int_of_float (Float.floor (p.x /. cell_km)),
+    int_of_float (Float.floor (p.y /. cell_km)),
+    int_of_float (Float.floor (p.z /. cell_km)) )
+
+let build positions =
+  let buckets = Hashtbl.create (max 16 (Array.length positions / 2)) in
+  Array.iteri
+    (fun i p ->
+      let key = cell_of p in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+      Hashtbl.replace buckets key (i :: prev))
+    positions;
+  { positions; buckets }
+
+(* Iterate over the shell of cells at Chebyshev ring [r] around
+   [(cx, cy, cz)], applying [f] to every indexed point inside. *)
+let iter_ring t (cx, cy, cz) r f =
+  let visit key =
+    match Hashtbl.find_opt t.buckets key with
+    | None -> ()
+    | Some ids -> List.iter f ids
+  in
+  if r = 0 then visit (cx, cy, cz)
+  else
+    for dx = -r to r do
+      for dy = -r to r do
+        if abs dx = r || abs dy = r then
+          for dz = -r to r do
+            visit (cx + dx, cy + dy, cz + dz)
+          done
+        else begin
+          visit (cx + dx, cy + dy, cz - r);
+          visit (cx + dx, cy + dy, cz + r)
+        end
+      done
+    done
+
+let nearest t p ~max_km =
+  let center = cell_of p in
+  let best = ref None in
+  let best_d = ref Float.infinity in
+  let max_ring = int_of_float (Float.ceil (max_km /. cell_km)) + 1 in
+  let consider i =
+    let d = Geo.distance p t.positions.(i) in
+    if d < !best_d then begin
+      best_d := d;
+      best := Some i
+    end
+  in
+  let rec loop r =
+    if r <= max_ring then begin
+      (* Any point in ring r is at least (r - 1) * cell_km away; once
+         that exceeds the best found we can stop. *)
+      let ring_lower = float_of_int (r - 1) *. cell_km in
+      if ring_lower <= !best_d && ring_lower <= max_km then begin
+        iter_ring t center r consider;
+        loop (r + 1)
+      end
+    end
+  in
+  loop 0;
+  match !best with
+  | Some i when !best_d <= max_km -> Some (i, !best_d)
+  | Some _ | None -> None
+
+let within t p ~radius_km =
+  let center = cell_of p in
+  let max_ring = int_of_float (Float.ceil (radius_km /. cell_km)) + 1 in
+  let acc = ref [] in
+  let consider i =
+    let d = Geo.distance p t.positions.(i) in
+    if d <= radius_km then acc := (i, d) :: !acc
+  in
+  for r = 0 to max_ring do
+    let ring_lower = float_of_int (r - 1) *. cell_km in
+    if ring_lower <= radius_km then iter_ring t center r consider
+  done;
+  !acc

@@ -1,0 +1,21 @@
+(** Latitude/longitude bucket index for nearest-neighbour queries.
+
+    Cross-shell laser pairing and ground-relay visibility need, for
+    every satellite, the nearest node of another set.  Brute force is
+    O(n^2) per snapshot; this index buckets positions into fixed
+    angular cells and searches expanding rings, which makes full
+    Starlink snapshot generation tractable on a laptop. *)
+
+type t
+
+val build : Sate_geo.Geo.vec3 array -> t
+(** Index the given positions (indices into the array are the ids
+    returned by queries). *)
+
+val nearest :
+  t -> Sate_geo.Geo.vec3 -> max_km:float -> (int * float) option
+(** [nearest t p ~max_km] returns the id and distance of the indexed
+    position closest to [p], provided it is within [max_km]. *)
+
+val within : t -> Sate_geo.Geo.vec3 -> radius_km:float -> (int * float) list
+(** All indexed positions within [radius_km] of [p], unordered. *)

@@ -1,0 +1,1 @@
+lib/traffic/demand.ml: Array Hashtbl List Option

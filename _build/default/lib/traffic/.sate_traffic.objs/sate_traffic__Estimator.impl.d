@@ -1,0 +1,1 @@
+lib/traffic/estimator.ml: Demand Flow_class List

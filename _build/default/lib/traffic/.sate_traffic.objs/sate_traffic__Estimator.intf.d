@@ -1,0 +1,1 @@
+lib/traffic/estimator.mli: Demand Flow_class

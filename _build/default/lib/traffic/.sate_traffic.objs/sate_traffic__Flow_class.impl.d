@@ -1,0 +1,1 @@
+lib/traffic/flow_class.ml: Sate_util

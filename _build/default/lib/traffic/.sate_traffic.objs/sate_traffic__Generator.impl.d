@@ -1,0 +1,1 @@
+lib/traffic/generator.ml: Array Demand Float Flow_class Hashtbl Sate_geo Sate_topology Sate_util

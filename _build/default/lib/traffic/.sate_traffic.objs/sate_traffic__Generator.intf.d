@@ -1,0 +1,1 @@
+lib/traffic/generator.mli: Demand Flow_class Sate_topology

@@ -1,0 +1,23 @@
+type flow_descriptor =
+  | Persistent of Flow_class.t
+  | Background of { volume_mb : float; deadline_s : float }
+  | Bursty
+
+let estimate_mbps ~now_s ~start_s = function
+  | Persistent cls -> Flow_class.demand_mbps cls
+  | Background { volume_mb; deadline_s } ->
+      let remaining_s = (start_s +. deadline_s) -. now_s in
+      if remaining_s <= 0.0 then 0.0
+      else
+        (* Volume is in megabytes; demand in megabits per second. *)
+        volume_mb *. 8.0 /. remaining_s
+  | Bursty -> 0.0
+
+let aggregate ~now_s flows ~num_sats =
+  let assoc =
+    List.map
+      (fun (src, dst, start_s, desc) ->
+        (src, dst, estimate_mbps ~now_s ~start_s desc))
+      flows
+  in
+  Demand.of_assoc ~num_sats assoc

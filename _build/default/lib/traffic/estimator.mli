@@ -1,0 +1,39 @@
+(** Bandwidth-demand estimation from connection metadata (Appendix D).
+
+    The control centre never sees instantaneous rates; it infers each
+    flow's bandwidth requirement at connection-establishment time:
+
+    - {e persistent} flows (VoIP, video, file transfer) are estimated
+      from their service class and standard (G.711 voice is 64 Kbps,
+      1080p video 8 Mbps, ...);
+    - {e background} flows with a deadline are estimated as
+      remaining volume / remaining time;
+    - {e bursty} flows preempt background bandwidth and are small
+      enough to be accounted implicitly (estimate 0, headroom-served).
+
+    The estimator deliberately returns the {e authorized} demand, not
+    ground truth: TE inputs in the paper are estimates, and the
+    evaluation measures satisfaction of those estimates. *)
+
+type flow_descriptor =
+  | Persistent of Flow_class.t
+      (** Service class negotiated at connection setup. *)
+  | Background of { volume_mb : float; deadline_s : float }
+      (** Bulk transfer with a deadline, e.g. telemetry offload. *)
+  | Bursty
+      (** Short opportunistic bursts (chat images, ...). *)
+
+val estimate_mbps : now_s:float -> start_s:float -> flow_descriptor -> float
+(** Estimated bandwidth demand of one flow at time [now_s]:
+    class rate for persistent flows; remaining-volume / remaining-time
+    for background flows (0 once the deadline passed); 0 for bursty
+    flows. *)
+
+val aggregate :
+  now_s:float ->
+  (int * int * float * flow_descriptor) list ->
+  num_sats:int ->
+  Demand.t
+(** [aggregate ~now_s flows ~num_sats] folds per-flow estimates into a
+    sparse traffic matrix; each element of [flows] is
+    [(src_sat, dst_sat, start_s, descriptor)]. *)

@@ -1,0 +1,28 @@
+module Rng = Sate_util.Rng
+
+type t = Voice | Video | File_transfer
+
+let all = [ Voice; Video; File_transfer ]
+
+let to_string = function
+  | Voice -> "voice"
+  | Video -> "video"
+  | File_transfer -> "file-transfer"
+
+let demand_mbps = function
+  | Voice -> 0.064
+  | Video -> 8.0
+  | File_transfer -> 50.0
+
+let duration_range_s = function
+  | Voice -> (60.0, 600.0)
+  | Video -> (300.0, 1800.0)
+  | File_transfer -> (1560.0, 7800.0)
+
+let sample_duration_s t rng =
+  let lo, hi = duration_range_s t in
+  Rng.uniform rng lo hi
+
+let sample_class rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.6 then Voice else if u < 0.9 then Video else File_transfer

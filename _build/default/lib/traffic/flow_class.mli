@@ -1,0 +1,30 @@
+(** Traffic service classes (Table 2).
+
+    | class         | demand  | duration        |
+    |---------------|---------|-----------------|
+    | Voice         | 64 Kbps | 1 - 10 min      |
+    | Video         | 8 Mbps  | 5 - 30 min      |
+    | File transfer | 50 Mbps | 26 - 130 min    |
+
+    Voice follows G.711; video is typical 1080p; file-transfer
+    durations correspond to 10 - 50 GB at 50 Mbps. *)
+
+type t = Voice | Video | File_transfer
+
+val all : t list
+
+val to_string : t -> string
+
+val demand_mbps : t -> float
+(** Nominal bandwidth demand. *)
+
+val duration_range_s : t -> float * float
+(** Inclusive (min, max) flow duration in seconds. *)
+
+val sample_duration_s : t -> Sate_util.Rng.t -> float
+(** Uniform draw from {!duration_range_s}. *)
+
+val sample_class : Sate_util.Rng.t -> t
+(** Draw a class from the default mixture (voice-heavy, file-light:
+    60% voice, 30% video, 10% file transfer), reflecting that most
+    satellite flows are small interactive sessions. *)

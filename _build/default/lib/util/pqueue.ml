@@ -1,0 +1,71 @@
+type t = {
+  keys : int array; (* heap array of keys *)
+  prios : float array; (* prios.(k) = priority of key k *)
+  pos : int array; (* pos.(k) = index of k in [keys], or -1 *)
+  mutable size : int;
+}
+
+let create n =
+  { keys = Array.make (max n 1) 0; prios = Array.make (max n 1) 0.0; pos = Array.make (max n 1) (-1); size = 0 }
+
+let is_empty q = q.size = 0
+
+let mem q k = q.pos.(k) >= 0
+
+let swap q i j =
+  let ki = q.keys.(i) and kj = q.keys.(j) in
+  q.keys.(i) <- kj;
+  q.keys.(j) <- ki;
+  q.pos.(kj) <- i;
+  q.pos.(ki) <- j
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.prios.(q.keys.(i)) < q.prios.(q.keys.(parent)) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.prios.(q.keys.(l)) < q.prios.(q.keys.(!smallest)) then smallest := l;
+  if r < q.size && q.prios.(q.keys.(r)) < q.prios.(q.keys.(!smallest)) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let insert q k p =
+  if mem q k then invalid_arg "Pqueue.insert: key already present";
+  q.keys.(q.size) <- k;
+  q.pos.(k) <- q.size;
+  q.prios.(k) <- p;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let decrease q k p =
+  if mem q k && p < q.prios.(k) then begin
+    q.prios.(k) <- p;
+    sift_up q q.pos.(k)
+  end
+
+let insert_or_decrease q k p = if mem q k then decrease q k p else insert q k p
+
+let pop_min q =
+  if q.size = 0 then None
+  else begin
+    let k = q.keys.(0) in
+    let p = q.prios.(k) in
+    q.size <- q.size - 1;
+    q.pos.(k) <- -1;
+    if q.size > 0 then begin
+      let last = q.keys.(q.size) in
+      q.keys.(0) <- last;
+      q.pos.(last) <- 0;
+      sift_down q 0
+    end;
+    Some (k, p)
+  end

@@ -1,0 +1,88 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: xor-shift + multiply avalanche. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits so the value fits a non-negative OCaml int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let float01 t =
+  (* 53 high bits scaled to [0,1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  v *. (1.0 /. 9007199254740992.0)
+
+let float t x = float01 t *. x
+
+let uniform t lo hi = lo +. (float01 t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let normal t ~mean ~std =
+  let u1 = max 1e-12 (float01 t) in
+  let u2 = float01 t in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (std *. r *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~rate =
+  let u = max 1e-12 (float01 t) in
+  -.log u /. rate
+
+let poisson t ~lambda =
+  if lambda <= 0.0 then 0
+  else if lambda < 30.0 then begin
+    (* Knuth: multiply uniforms until below exp(-lambda). *)
+    let limit = exp (-.lambda) in
+    let rec loop k p =
+      let p = p *. float01 t in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else
+    let x = normal t ~mean:lambda ~std:(sqrt lambda) in
+    max 0 (int_of_float (Float.round x))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let sample_weighted t w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  assert (total > 0.0);
+  let target = float t total in
+  let n = Array.length w in
+  let rec loop i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else loop (i + 1) acc
+  in
+  loop 0 0.0

@@ -1,0 +1,1 @@
+test/helpers.ml: Array List Sate_orbit Sate_paths Sate_te Sate_topology Sate_traffic

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Helpers List Sate_baselines Sate_gnn Sate_paths Sate_te

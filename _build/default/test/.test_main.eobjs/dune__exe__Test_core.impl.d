@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Option Printf Sate_core Sate_orbit Sate_paths Sate_te Sate_topology

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Helpers List Printf Sate_baselines Sate_geo Sate_gnn Sate_orbit Sate_te Sate_traffic Sate_util

@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Array Float QCheck QCheck_alcotest Sate_geo Sate_util

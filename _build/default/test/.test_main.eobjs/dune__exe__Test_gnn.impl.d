@@ -1,0 +1,1 @@
+test/test_gnn.ml: Alcotest Array Filename Float Helpers List Printf Sate_gnn Sate_nn Sate_te Sate_tensor Sate_topology Sate_util Sys Tensor

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Helpers List Printf Sate_core Sate_gnn Sate_orbit Sate_paths Sate_pruning Sate_te Sate_topology Sate_traffic

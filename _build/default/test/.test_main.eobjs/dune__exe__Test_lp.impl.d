@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array QCheck QCheck_alcotest Sate_lp

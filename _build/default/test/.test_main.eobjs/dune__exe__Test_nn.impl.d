@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Float Sate_nn Sate_tensor Sate_util Tensor

@@ -1,0 +1,1 @@
+test/test_orbit.ml: Alcotest Array Float List QCheck QCheck_alcotest Sate_geo Sate_orbit

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array List Printf QCheck QCheck_alcotest Sate_geo Sate_orbit Sate_paths Sate_topology

@@ -1,0 +1,1 @@
+test/test_pruning.ml: Alcotest Array Helpers List Sate_orbit Sate_pruning Sate_te Sate_topology Sate_traffic Sate_util

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float QCheck QCheck_alcotest Sate_tensor Sate_util Tensor

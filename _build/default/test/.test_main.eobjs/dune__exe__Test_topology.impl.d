@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float Fun List Sate_geo Sate_orbit Sate_topology Sate_util

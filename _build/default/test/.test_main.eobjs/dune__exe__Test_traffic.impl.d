@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float Hashtbl List Option QCheck QCheck_alcotest Sate_orbit Sate_topology Sate_traffic Sate_util

@@ -1,0 +1,54 @@
+(* Shared fixtures for TE-level tests: small deterministic instances. *)
+
+module Constellation = Sate_orbit.Constellation
+module Builder = Sate_topology.Builder
+module Generator = Sate_traffic.Generator
+module Demand = Sate_traffic.Demand
+module Path_db = Sate_paths.Path_db
+module Instance = Sate_te.Instance
+
+(* A small Iridium-based instance: deterministic, solvable in
+   milliseconds, with enough commodities to exercise constraints. *)
+let iridium_instance ?(lambda = 8.0) ?(k = 3) ?(warmup = 30.0) ?(seed = 7) () =
+  let c = Constellation.iridium in
+  let b = Builder.create c in
+  let snap = Builder.snapshot b ~time_s:0.0 in
+  let gen =
+    Generator.create
+      ~config:{ Generator.default_config with Generator.seed }
+      ~lambda ()
+  in
+  Generator.advance gen ~to_s:warmup;
+  let demand, up, down = Generator.demand_at gen snap in
+  let pairs =
+    Array.to_list
+      (Array.map (fun (e : Demand.entry) -> (e.Demand.src, e.Demand.dst)) demand.Demand.entries)
+  in
+  let db = Path_db.compute c snap ~pairs ~k in
+  Instance.make ~up_caps:up ~down_caps:down snap demand db
+
+(* A congested variant: high load so capacity constraints bind. *)
+let congested_instance () = iridium_instance ~lambda:60.0 ~warmup:60.0 ()
+
+let instance_series ?(count = 3) ?(lambda = 8.0) ?(k = 3) ?(seed = 7) () =
+  let c = Constellation.iridium in
+  let b = Builder.create c in
+  let gen =
+    Generator.create
+      ~config:{ Generator.default_config with Generator.seed }
+      ~lambda ()
+  in
+  Generator.advance gen ~to_s:30.0;
+  List.init count (fun i ->
+      let time_s = float_of_int i *. 10.0 in
+      let snap = Builder.snapshot b ~time_s in
+      Generator.advance gen ~to_s:(30.0 +. time_s);
+      let demand, up, down = Generator.demand_at gen snap in
+      let pairs =
+        Array.to_list
+          (Array.map
+             (fun (e : Demand.entry) -> (e.Demand.src, e.Demand.dst))
+             demand.Demand.entries)
+      in
+      let db = Path_db.compute c snap ~pairs ~k in
+      Instance.make ~up_caps:up ~down_caps:down snap demand db)

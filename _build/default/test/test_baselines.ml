@@ -1,0 +1,129 @@
+(* Tests for Sate_baselines: ECMP+WF, POP, satellite routing,
+   Teal-like, HARP-like. *)
+
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+module Lp_solver = Sate_te.Lp_solver
+module Ecmp_wf = Sate_baselines.Ecmp_wf
+module Pop = Sate_baselines.Pop
+module Satellite_routing = Sate_baselines.Satellite_routing
+module Teal_like = Sate_baselines.Teal_like
+module Harp_like = Sate_baselines.Harp_like
+
+let test_ecmp_feasible () =
+  let inst = Helpers.congested_instance () in
+  let alloc = Ecmp_wf.solve inst in
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc)
+
+let test_ecmp_light_load_full_satisfaction () =
+  let inst = Helpers.iridium_instance ~lambda:2.0 ~warmup:10.0 () in
+  let alloc = Ecmp_wf.solve inst in
+  Alcotest.(check bool) "satisfies nearly all at light load" true
+    (Allocation.satisfied_ratio inst alloc > 0.95)
+
+let test_ecmp_uses_min_hop_paths () =
+  let inst = Helpers.iridium_instance () in
+  let alloc = Ecmp_wf.solve inst in
+  Array.iteri
+    (fun f rates ->
+      let c = inst.Instance.commodities.(f) in
+      if Array.length c.Instance.paths > 0 then begin
+        let min_hops =
+          Array.fold_left (fun acc p -> min acc (Sate_paths.Path.hops p)) max_int
+            c.Instance.paths
+        in
+        Array.iteri
+          (fun p r ->
+            if r > 1e-9 then
+              Alcotest.(check int) "only min-hop paths used" min_hops
+                (Sate_paths.Path.hops c.Instance.paths.(p)))
+          rates
+      end)
+    alloc
+
+let test_ecmp_below_lp () =
+  let inst = Helpers.congested_instance () in
+  let lp = Allocation.total_flow (Lp_solver.solve inst) in
+  let ecmp = Allocation.total_flow (Ecmp_wf.solve inst) in
+  Alcotest.(check bool) "ecmp <= lp optimum" true (ecmp <= lp +. 1e-6)
+
+let test_pop_feasible_and_suboptimal () =
+  let inst = Helpers.congested_instance () in
+  let alloc, latency_ms = Pop.solve_timed ~k:4 inst in
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc);
+  Alcotest.(check bool) "latency measured" true (latency_ms > 0.0);
+  let lp = Allocation.total_flow (Lp_solver.solve inst) in
+  Alcotest.(check bool) "pop <= lp" true (Allocation.total_flow alloc <= lp +. 1e-6)
+
+let test_pop_partitions_cover_all () =
+  let inst = Helpers.iridium_instance ~lambda:2.0 ~warmup:10.0 () in
+  (* Light load: even with 1/k capacities every partition fits, so POP
+     should satisfy nearly everything. *)
+  let alloc = Pop.solve ~k:2 inst in
+  Alcotest.(check bool) "near full satisfaction" true
+    (Allocation.satisfied_ratio inst alloc > 0.9)
+
+let test_satellite_routing_feasible () =
+  let inst = Helpers.congested_instance () in
+  let alloc = Satellite_routing.solve inst in
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc)
+
+let test_satellite_routing_worst_under_load () =
+  let inst = Helpers.congested_instance () in
+  let bp = Allocation.total_flow (Satellite_routing.solve inst) in
+  let lp = Allocation.total_flow (Lp_solver.solve inst) in
+  Alcotest.(check bool) "below optimum under load" true (bp <= lp +. 1e-6)
+
+let test_teal_scale_mismatch () =
+  let inst = Helpers.iridium_instance () in
+  let model = Teal_like.create ~num_sats:176 ~k:3 () in
+  (try
+     ignore (Teal_like.predict model inst);
+     Alcotest.fail "expected scale mismatch failure"
+   with Invalid_argument _ -> ())
+
+let test_teal_input_volume_quadratic () =
+  let small = Teal_like.create ~num_sats:66 ~k:10 () in
+  let big = Teal_like.create ~num_sats:660 ~k:10 () in
+  Alcotest.(check int) "100x input volume"
+    (100 * Teal_like.input_volume_bytes small)
+    (Teal_like.input_volume_bytes big)
+
+let test_teal_train_and_predict () =
+  let instances = Helpers.instance_series ~count:2 () in
+  let model = Teal_like.create ~num_sats:66 ~k:3 () in
+  let seconds = Teal_like.train ~epochs:3 model instances in
+  Alcotest.(check bool) "training ran" true (seconds > 0.0);
+  let inst = List.hd instances in
+  let alloc = Teal_like.predict model inst in
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc)
+
+let test_harp_train_and_predict () =
+  let instances = Helpers.instance_series ~count:2 () in
+  let model = Harp_like.create ~seed:1 () in
+  let seconds = Harp_like.train ~epochs:2 model instances in
+  Alcotest.(check bool) "training ran" true (seconds > 0.0);
+  let inst = List.hd instances in
+  let alloc = Harp_like.predict model inst in
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc)
+
+let test_harp_has_more_parameters_than_sate () =
+  let sate = Sate_gnn.Model.create ~seed:1 () in
+  let harp = Harp_like.create ~seed:1 () in
+  Alcotest.(check bool) "harp adds transformer stage params" true
+    (Harp_like.num_parameters harp > Sate_gnn.Model.num_parameters sate)
+
+let suite =
+  [ Alcotest.test_case "ecmp feasible" `Quick test_ecmp_feasible;
+    Alcotest.test_case "ecmp light load" `Quick test_ecmp_light_load_full_satisfaction;
+    Alcotest.test_case "ecmp min-hop only" `Quick test_ecmp_uses_min_hop_paths;
+    Alcotest.test_case "ecmp below lp" `Quick test_ecmp_below_lp;
+    Alcotest.test_case "pop feasible" `Quick test_pop_feasible_and_suboptimal;
+    Alcotest.test_case "pop light load" `Quick test_pop_partitions_cover_all;
+    Alcotest.test_case "satellite routing feasible" `Quick test_satellite_routing_feasible;
+    Alcotest.test_case "satellite routing under load" `Quick test_satellite_routing_worst_under_load;
+    Alcotest.test_case "teal scale mismatch" `Quick test_teal_scale_mismatch;
+    Alcotest.test_case "teal input quadratic" `Quick test_teal_input_volume_quadratic;
+    Alcotest.test_case "teal train/predict" `Slow test_teal_train_and_predict;
+    Alcotest.test_case "harp train/predict" `Slow test_harp_train_and_predict;
+    Alcotest.test_case "harp parameter count" `Quick test_harp_has_more_parameters_than_sate ]

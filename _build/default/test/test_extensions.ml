@@ -1,0 +1,182 @@
+(* Tests for the extension surface: demand estimation (Appendix D),
+   fairness objectives (Eq. 3 / Appendix H.4), fine-tuning (Sec. 7),
+   and J2 orbital perturbation. *)
+
+module Estimator = Sate_traffic.Estimator
+module Flow_class = Sate_traffic.Flow_class
+module Demand = Sate_traffic.Demand
+module Max_min = Sate_baselines.Max_min
+module Ecmp_wf = Sate_baselines.Ecmp_wf
+module Lp_solver = Sate_te.Lp_solver
+module Allocation = Sate_te.Allocation
+module Instance = Sate_te.Instance
+module Shell = Sate_orbit.Shell
+module Geo = Sate_geo.Geo
+module Model = Sate_gnn.Model
+module Trainer = Sate_gnn.Trainer
+module Stats = Sate_util.Stats
+
+(* --- Appendix D demand estimation --- *)
+
+let test_estimator_persistent () =
+  List.iter
+    (fun cls ->
+      Alcotest.(check (float 1e-9))
+        (Flow_class.to_string cls)
+        (Flow_class.demand_mbps cls)
+        (Estimator.estimate_mbps ~now_s:100.0 ~start_s:0.0 (Estimator.Persistent cls)))
+    Flow_class.all
+
+let test_estimator_background () =
+  (* 100 MB due in 100 s from start, estimated at t = 20: 800 Mbit
+     over 80 s = 10 Mbps. *)
+  let d =
+    Estimator.estimate_mbps ~now_s:20.0 ~start_s:0.0
+      (Estimator.Background { volume_mb = 100.0; deadline_s = 100.0 })
+  in
+  Alcotest.(check (float 1e-9)) "10 Mbps" 10.0 d;
+  (* Past the deadline the estimate collapses to zero. *)
+  let late =
+    Estimator.estimate_mbps ~now_s:200.0 ~start_s:0.0
+      (Estimator.Background { volume_mb = 100.0; deadline_s = 100.0 })
+  in
+  Alcotest.(check (float 0.0)) "expired" 0.0 late
+
+let test_estimator_background_urgency () =
+  (* The same transfer demands more as its deadline nears. *)
+  let at now =
+    Estimator.estimate_mbps ~now_s:now ~start_s:0.0
+      (Estimator.Background { volume_mb = 50.0; deadline_s = 100.0 })
+  in
+  Alcotest.(check bool) "urgency grows" true (at 80.0 > at 10.0)
+
+let test_estimator_bursty_implicit () =
+  Alcotest.(check (float 0.0)) "bursty unaccounted" 0.0
+    (Estimator.estimate_mbps ~now_s:0.0 ~start_s:0.0 Estimator.Bursty)
+
+let test_estimator_aggregate () =
+  let flows =
+    [ (0, 1, 0.0, Estimator.Persistent Flow_class.Video);
+      (0, 1, 0.0, Estimator.Persistent Flow_class.Voice);
+      (2, 3, 0.0, Estimator.Bursty) ]
+  in
+  let d = Estimator.aggregate ~now_s:10.0 flows ~num_sats:5 in
+  Alcotest.(check int) "bursty entry dropped" 1 (Demand.num_entries d);
+  Alcotest.(check (float 1e-9)) "aggregated" 8.064 (Demand.find d ~src:0 ~dst:1)
+
+(* --- Fairness: max-min filling and log-utility LP --- *)
+
+let test_max_min_feasible () =
+  let inst = Helpers.congested_instance () in
+  let alloc = Max_min.solve inst in
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc)
+
+let test_max_min_reduces_starvation () =
+  let inst = Helpers.congested_instance () in
+  let starved a =
+    Allocation.per_commodity_ratio inst a
+    |> Array.fold_left (fun acc r -> if r < 0.05 then acc + 1 else acc) 0
+  in
+  let mm = starved (Max_min.solve inst) in
+  let bp = starved (Sate_baselines.Satellite_routing.solve inst) in
+  Alcotest.(check bool)
+    (Printf.sprintf "max-min starves fewer flows (%d <= %d)" mm bp)
+    true (mm <= bp)
+
+let test_max_min_uses_all_paths () =
+  (* Unlike ECMP, max-min may spread onto longer candidate paths. *)
+  let inst = Helpers.congested_instance () in
+  let mm = Allocation.total_flow (Max_min.solve inst) in
+  let ecmp = Allocation.total_flow (Ecmp_wf.solve inst) in
+  Alcotest.(check bool) "all-path filling carries at least min-hop filling" true
+    (mm >= ecmp *. 0.8)
+
+(* Log-utility LPs double the variable count: keep the instance small. *)
+let utility_instance () = Helpers.iridium_instance ~lambda:12.0 ~warmup:25.0 ()
+
+let test_log_utility_feasible_and_fair () =
+  let inst = utility_instance () in
+  let alloc, utility = Lp_solver.solve_with_value ~objective:Lp_solver.Max_log_utility inst in
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc);
+  Alcotest.(check bool) "finite utility" true (Float.is_finite utility);
+  (* Soft fairness: compared to raw throughput maximisation, the
+     bottom decile of flows must not be worse. *)
+  let p10 a = Stats.percentile (Allocation.per_commodity_ratio inst a) 10.0 in
+  let thr = Lp_solver.solve inst in
+  Alcotest.(check bool)
+    (Printf.sprintf "log utility lifts the poorest flows (%.3f >= %.3f)"
+       (p10 alloc) (p10 thr))
+    true
+    (p10 alloc >= p10 thr -. 1e-6)
+
+let test_log_utility_below_throughput_optimum () =
+  let inst = utility_instance () in
+  let thr = Allocation.total_flow (Lp_solver.solve inst) in
+  let util = Allocation.total_flow (Lp_solver.solve ~objective:Lp_solver.Max_log_utility inst) in
+  Alcotest.(check bool) "fairness costs at most the optimum" true (util <= thr +. 1e-6)
+
+(* --- J2 perturbation --- *)
+
+let shell =
+  Shell.make ~altitude_km:550.0 ~inclination_deg:53.0 ~planes:24 ~sats_per_plane:22 ()
+
+let test_j2_nodal_regression_sign () =
+  Alcotest.(check bool) "prograde shell regresses westward" true
+    (Shell.raan_drift_rad_s shell < 0.0);
+  let polar =
+    Shell.make ~altitude_km:560.0 ~inclination_deg:97.6 ~planes:6 ~sats_per_plane:58 ()
+  in
+  Alcotest.(check bool) "retrograde-leaning shell drifts eastward" true
+    (Shell.raan_drift_rad_s polar > 0.0)
+
+let test_j2_magnitude () =
+  (* Starlink-like shells regress around 5 degrees/day. *)
+  let per_day = Shell.raan_drift_rad_s shell *. 86400.0 *. 180.0 /. Float.pi in
+  Alcotest.(check bool)
+    (Printf.sprintf "drift %.2f deg/day in [-6, -4]" per_day)
+    true
+    (per_day < -4.0 && per_day > -6.0)
+
+let test_j2_matches_kepler_at_t0 () =
+  let a = Shell.position shell ~plane:3 ~slot:5 ~time_s:0.0 in
+  let b = Shell.position_j2 shell ~plane:3 ~slot:5 ~time_s:0.0 in
+  Alcotest.(check (float 1e-9)) "identical at epoch" 0.0 (Geo.distance a b)
+
+let test_j2_diverges_over_time () =
+  let t = 6.0 *. 3600.0 in
+  let a = Shell.position shell ~plane:3 ~slot:5 ~time_s:t in
+  let b = Shell.position_j2 shell ~plane:3 ~slot:5 ~time_s:t in
+  Alcotest.(check bool) "tens of km after 6 h" true (Geo.distance a b > 10.0);
+  Alcotest.(check (float 1e-6)) "same radius"
+    (Geo.norm a) (Geo.norm b)
+
+(* --- Fine-tuning --- *)
+
+let test_fine_tune_improves_on_target () =
+  let samples = List.map Trainer.make_sample (Helpers.instance_series ~count:3 ~seed:55 ()) in
+  let model = Model.create ~seed:14 () in
+  ignore (Trainer.train ~epochs:10 model samples);
+  let before = Trainer.evaluate model samples in
+  ignore (Trainer.fine_tune ~epochs:8 model samples);
+  let after = Trainer.evaluate model samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "fine-tune does not regress (%.3f -> %.3f)" before after)
+    true
+    (after >= before -. 0.05)
+
+let suite =
+  [ Alcotest.test_case "estimator persistent" `Quick test_estimator_persistent;
+    Alcotest.test_case "estimator background" `Quick test_estimator_background;
+    Alcotest.test_case "estimator urgency" `Quick test_estimator_background_urgency;
+    Alcotest.test_case "estimator bursty" `Quick test_estimator_bursty_implicit;
+    Alcotest.test_case "estimator aggregate" `Quick test_estimator_aggregate;
+    Alcotest.test_case "max-min feasible" `Quick test_max_min_feasible;
+    Alcotest.test_case "max-min starvation" `Quick test_max_min_reduces_starvation;
+    Alcotest.test_case "max-min vs ecmp" `Quick test_max_min_uses_all_paths;
+    Alcotest.test_case "log utility fair" `Quick test_log_utility_feasible_and_fair;
+    Alcotest.test_case "log utility bounded" `Quick test_log_utility_below_throughput_optimum;
+    Alcotest.test_case "j2 regression sign" `Quick test_j2_nodal_regression_sign;
+    Alcotest.test_case "j2 magnitude" `Quick test_j2_magnitude;
+    Alcotest.test_case "j2 epoch match" `Quick test_j2_matches_kepler_at_t0;
+    Alcotest.test_case "j2 divergence" `Quick test_j2_diverges_over_time;
+    Alcotest.test_case "fine-tune" `Slow test_fine_tune_improves_on_target ]

@@ -1,0 +1,141 @@
+(* Tests for Sate_geo: vector algebra, geodesy, population raster. *)
+
+module Geo = Sate_geo.Geo
+module Population = Sate_geo.Population
+module Rng = Sate_util.Rng
+
+let vx = { Geo.x = 1.0; y = 0.0; z = 0.0 }
+
+let vy = { Geo.x = 0.0; y = 1.0; z = 0.0 }
+
+let close = Alcotest.(check (float 1e-6))
+
+let test_vector_ops () =
+  close "dot orthogonal" 0.0 (Geo.dot vx vy);
+  close "norm" 1.0 (Geo.norm vx);
+  let c = Geo.cross vx vy in
+  close "cross z" 1.0 c.Geo.z;
+  let s = Geo.add (Geo.scale 2.0 vx) vy in
+  close "add/scale" 2.0 s.Geo.x;
+  close "distance" (sqrt 2.0) (Geo.distance vx vy)
+
+let test_lat_lon_roundtrip () =
+  let p = Geo.of_lat_lon ~lat_deg:45.0 ~lon_deg:100.0 ~alt_km:550.0 in
+  Alcotest.(check (float 1e-6)) "lat" 45.0 (Geo.latitude_deg p);
+  Alcotest.(check (float 1e-6)) "lon" 100.0 (Geo.longitude_deg p);
+  close "radius" (Geo.earth_radius_km +. 550.0) (Geo.norm p)
+
+let test_equator_position () =
+  let p = Geo.of_lat_lon ~lat_deg:0.0 ~lon_deg:0.0 ~alt_km:0.0 in
+  close "x" Geo.earth_radius_km p.Geo.x;
+  close "y" 0.0 p.Geo.y;
+  close "z" 0.0 p.Geo.z
+
+let test_elevation_overhead () =
+  let ground = Geo.of_lat_lon ~lat_deg:10.0 ~lon_deg:20.0 ~alt_km:0.0 in
+  let sat = Geo.of_lat_lon ~lat_deg:10.0 ~lon_deg:20.0 ~alt_km:550.0 in
+  Alcotest.(check (float 1e-3)) "overhead is 90 deg" 90.0
+    (Geo.elevation_angle_deg ~ground ~sat)
+
+let test_elevation_below_horizon () =
+  let ground = Geo.of_lat_lon ~lat_deg:0.0 ~lon_deg:0.0 ~alt_km:0.0 in
+  let sat = Geo.of_lat_lon ~lat_deg:0.0 ~lon_deg:180.0 ~alt_km:550.0 in
+  Alcotest.(check bool) "antipodal below horizon" true
+    (Geo.elevation_angle_deg ~ground ~sat < 0.0)
+
+let test_line_of_sight () =
+  let a = Geo.of_lat_lon ~lat_deg:0.0 ~lon_deg:0.0 ~alt_km:550.0 in
+  let b = Geo.of_lat_lon ~lat_deg:0.0 ~lon_deg:10.0 ~alt_km:550.0 in
+  Alcotest.(check bool) "nearby sats see each other" true (Geo.line_of_sight a b);
+  let c = Geo.of_lat_lon ~lat_deg:0.0 ~lon_deg:180.0 ~alt_km:550.0 in
+  Alcotest.(check bool) "antipodal blocked by Earth" false (Geo.line_of_sight a c)
+
+let test_propagation_delay () =
+  (* 2998 km at c is ~10 ms. *)
+  let a = { Geo.x = 0.0; y = 0.0; z = 0.0 } in
+  let b = { Geo.x = 2997.92458; y = 0.0; z = 0.0 } in
+  Alcotest.(check (float 1e-6)) "10 ms" 10.0 (Geo.propagation_delay_ms a b)
+
+let test_great_circle () =
+  (* Quarter circumference between equator and pole. *)
+  let d = Geo.great_circle_km ~lat1:0.0 ~lon1:0.0 ~lat2:90.0 ~lon2:0.0 in
+  Alcotest.(check (float 1.0)) "quarter circumference"
+    (Float.pi /. 2.0 *. Geo.earth_radius_km) d;
+  close "zero distance" 0.0 (Geo.great_circle_km ~lat1:10.0 ~lon1:20.0 ~lat2:10.0 ~lon2:20.0)
+
+let test_population_land_bias () =
+  let pop = Population.synthetic ~seed:1 in
+  Alcotest.(check bool) "london is land" true
+    (Population.is_land pop ~lat_deg:51.5 ~lon_deg:0.0);
+  Alcotest.(check bool) "mid-pacific is ocean" false
+    (Population.is_land pop ~lat_deg:0.0 ~lon_deg:(-150.0));
+  Alcotest.(check bool) "city denser than ocean" true
+    (Population.density pop ~lat_deg:51.5 ~lon_deg:0.0
+    > Population.density pop ~lat_deg:0.0 ~lon_deg:(-150.0))
+
+let test_population_probabilities () =
+  let pop = Population.synthetic ~seed:1 in
+  let probs = Population.cell_probabilities pop ~smoothing:1.0 in
+  let total = Array.fold_left ( +. ) 0.0 probs in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total;
+  Alcotest.(check bool) "all nonnegative" true (Array.for_all (fun p -> p >= 0.0) probs)
+
+let test_population_sampler_determinism () =
+  let pop = Population.synthetic ~seed:2 in
+  let s = Population.make_sampler pop ~smoothing:1.0 ~land_only:false in
+  let a = Population.sample s (Rng.create 5) in
+  let b = Population.sample s (Rng.create 5) in
+  Alcotest.(check bool) "same seed, same location" true (a = b)
+
+let test_population_land_sampler () =
+  let pop = Population.synthetic ~seed:3 in
+  let s = Population.make_sampler pop ~smoothing:1.0 ~land_only:true in
+  let rng = Rng.create 4 in
+  for _ = 1 to 200 do
+    let lat, lon = Population.sample s rng in
+    Alcotest.(check bool) "sampled on land" true
+      (Population.is_land pop ~lat_deg:lat ~lon_deg:lon)
+  done
+
+let test_cell_of_bounds () =
+  let c1 = Population.cell_of ~lat_deg:(-90.0) ~lon_deg:(-180.0) in
+  Alcotest.(check int) "corner cell" 0 c1;
+  let c2 = Population.cell_of ~lat_deg:89.9 ~lon_deg:179.9 in
+  Alcotest.(check int) "last cell"
+    ((Population.grid_rows * Population.grid_cols) - 1)
+    c2
+
+let prop_latlon_roundtrip =
+  QCheck.Test.make ~name:"lat/lon -> ECEF -> lat/lon" ~count:300
+    QCheck.(pair (float_range (-89.0) 89.0) (float_range (-179.0) 179.0))
+    (fun (lat, lon) ->
+      let p = Geo.of_lat_lon ~lat_deg:lat ~lon_deg:lon ~alt_km:550.0 in
+      Float.abs (Geo.latitude_deg p -. lat) < 1e-6
+      && Float.abs (Geo.longitude_deg p -. lon) < 1e-6)
+
+let prop_great_circle_symmetric =
+  QCheck.Test.make ~name:"great circle symmetric" ~count:200
+    QCheck.(
+      quad (float_range (-89.0) 89.0) (float_range (-179.0) 179.0)
+        (float_range (-89.0) 89.0) (float_range (-179.0) 179.0))
+    (fun (la1, lo1, la2, lo2) ->
+      let d1 = Geo.great_circle_km ~lat1:la1 ~lon1:lo1 ~lat2:la2 ~lon2:lo2 in
+      let d2 = Geo.great_circle_km ~lat1:la2 ~lon1:lo2 ~lat2:la1 ~lon2:lo1 in
+      Float.abs (d1 -. d2) < 1e-6)
+
+let suite =
+  [ Alcotest.test_case "vector ops" `Quick test_vector_ops;
+    Alcotest.test_case "lat/lon roundtrip" `Quick test_lat_lon_roundtrip;
+    Alcotest.test_case "equator position" `Quick test_equator_position;
+    Alcotest.test_case "elevation overhead" `Quick test_elevation_overhead;
+    Alcotest.test_case "elevation horizon" `Quick test_elevation_below_horizon;
+    Alcotest.test_case "line of sight" `Quick test_line_of_sight;
+    Alcotest.test_case "propagation delay" `Quick test_propagation_delay;
+    Alcotest.test_case "great circle" `Quick test_great_circle;
+    Alcotest.test_case "population land bias" `Quick test_population_land_bias;
+    Alcotest.test_case "population probabilities" `Quick test_population_probabilities;
+    Alcotest.test_case "sampler determinism" `Quick test_population_sampler_determinism;
+    Alcotest.test_case "land sampler" `Quick test_population_land_sampler;
+    Alcotest.test_case "cell bounds" `Quick test_cell_of_bounds;
+    QCheck_alcotest.to_alcotest prop_latlon_roundtrip;
+    QCheck_alcotest.to_alcotest prop_great_circle_symmetric ]

@@ -1,0 +1,198 @@
+(* Tests for Sate_gnn: TE graph construction, GAT blocks, the SaTE
+   model, loss, and trainer. *)
+
+open Sate_tensor
+module A = Sate_nn.Autodiff
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+module Te_graph = Sate_gnn.Te_graph
+module Gat = Sate_gnn.Gat
+module Model = Sate_gnn.Model
+module Loss = Sate_gnn.Loss
+module Trainer = Sate_gnn.Trainer
+module Rng = Sate_util.Rng
+
+let graph_of inst = Te_graph.of_instance inst
+
+let test_graph_counts () =
+  let inst = Helpers.iridium_instance () in
+  let g = graph_of inst in
+  Alcotest.(check int) "traffic nodes = commodities"
+    (Instance.num_commodities inst) g.Te_graph.num_traffic;
+  Alcotest.(check int) "path nodes = candidate paths"
+    (Instance.num_paths inst) g.Te_graph.num_paths;
+  Alcotest.(check int) "sat nodes = snapshot nodes"
+    (Sate_topology.Snapshot.num_nodes inst.Instance.snapshot)
+    g.Te_graph.num_sats;
+  (* R1 has two directed edges per link. *)
+  Alcotest.(check int) "r1 edges"
+    (2 * Array.length inst.Instance.snapshot.Sate_topology.Snapshot.links)
+    (Array.length g.Te_graph.r1.Te_graph.src);
+  (* R3 has one edge per path. *)
+  Alcotest.(check int) "r3 edges" g.Te_graph.num_paths
+    (Array.length g.Te_graph.r3.Te_graph.src)
+
+let test_graph_edge_indices_in_range () =
+  let inst = Helpers.iridium_instance () in
+  let g = graph_of inst in
+  let check_edges (e : Te_graph.edges) n_src n_dst name =
+    Array.iter
+      (fun s -> Alcotest.(check bool) (name ^ " src range") true (s >= 0 && s < n_src))
+      e.Te_graph.src;
+    Array.iter
+      (fun d -> Alcotest.(check bool) (name ^ " dst range") true (d >= 0 && d < n_dst))
+      e.Te_graph.dst
+  in
+  check_edges g.Te_graph.r1 g.Te_graph.num_sats g.Te_graph.num_sats "r1";
+  check_edges g.Te_graph.r2 g.Te_graph.num_paths g.Te_graph.num_sats "r2";
+  check_edges g.Te_graph.r3 g.Te_graph.num_paths g.Te_graph.num_traffic "r3"
+
+let test_graph_access_relation_ablation () =
+  let inst = Helpers.iridium_instance () in
+  let g = Te_graph.of_instance ~with_access_relation:true inst in
+  match g.Te_graph.access with
+  | Some access ->
+      (* Two edges (src and dst satellites) per commodity. *)
+      Alcotest.(check int) "access edges" (2 * g.Te_graph.num_traffic)
+        (Array.length access.Te_graph.src)
+  | None -> Alcotest.fail "expected access relation"
+
+let test_graph_memory_smaller_than_dense () =
+  let inst = Helpers.iridium_instance () in
+  let g = graph_of inst in
+  let dense = 66 * 66 * 8 in
+  Alcotest.(check bool) "pruned graph smaller than dense matrix alone" true
+    (Te_graph.memory_estimate_bytes g < dense * 10)
+
+let test_gat_shapes () =
+  let rng = Rng.create 1 in
+  let gat = Gat.create rng ~dim:8 ~heads:2 in
+  let x_src = A.const (Tensor.xavier (Rng.create 2) 5 8) in
+  let x_dst = A.const (Tensor.xavier (Rng.create 3) 4 8) in
+  let edges =
+    { Te_graph.src = [| 0; 1; 2 |];
+      dst = [| 0; 1; 3 |];
+      feat = Tensor.of_column [| 1.0; 0.5; 0.2 |] }
+  in
+  let y = Gat.forward gat ~x_src ~x_dst ~edges in
+  Alcotest.(check (pair int int)) "dst-shaped output" (4, 8) (A.shape y)
+
+let test_gat_empty_edges () =
+  let rng = Rng.create 4 in
+  let gat = Gat.create rng ~dim:8 ~heads:2 in
+  let x = A.const (Tensor.xavier (Rng.create 5) 3 8) in
+  let edges = { Te_graph.src = [||]; dst = [||]; feat = Tensor.create 0 1 } in
+  let y = Gat.forward gat ~x_src:x ~x_dst:x ~edges in
+  Alcotest.(check (pair int int)) "self-only output" (3, 8) (A.shape y)
+
+let test_gat_dim_heads_validation () =
+  Alcotest.check_raises "dim % heads" (Invalid_argument "Gat.create: dim must divide by heads")
+    (fun () -> ignore (Gat.create (Rng.create 1) ~dim:9 ~heads:2))
+
+let test_model_forward_range () =
+  let inst = Helpers.iridium_instance () in
+  let g = graph_of inst in
+  let model = Model.create ~seed:1 () in
+  let y = Model.forward model g in
+  Alcotest.(check (pair int int)) "one ratio per path" (g.Te_graph.num_paths, 1) (A.shape y);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "ratio in (0,1)" true (v > 0.0 && v < 1.0))
+    y.A.value.Tensor.data
+
+let test_model_deterministic () =
+  let inst = Helpers.iridium_instance () in
+  let g = graph_of inst in
+  let m1 = Model.create ~seed:7 () and m2 = Model.create ~seed:7 () in
+  let y1 = Model.forward m1 g and y2 = Model.forward m2 g in
+  Alcotest.(check bool) "same seed same output" true
+    (y1.A.value.Tensor.data = y2.A.value.Tensor.data)
+
+let test_model_predict_feasible () =
+  let inst = Helpers.congested_instance () in
+  let model = Model.create ~seed:2 () in
+  let alloc = Model.predict model inst in
+  Alcotest.(check bool) "prediction feasible after trim" true
+    (Allocation.is_feasible inst alloc)
+
+let test_model_save_load () =
+  let inst = Helpers.iridium_instance () in
+  let g = graph_of inst in
+  let model = Model.create ~seed:3 () in
+  let path = Filename.temp_file "sate_model" ".bin" in
+  Model.save model path;
+  let restored = Model.load path in
+  Sys.remove path;
+  let y1 = Model.forward model g and y2 = Model.forward restored g in
+  Alcotest.(check bool) "identical after reload" true
+    (y1.A.value.Tensor.data = y2.A.value.Tensor.data);
+  Alcotest.(check int) "same parameter count" (Model.num_parameters model)
+    (Model.num_parameters restored)
+
+let test_loss_decreases_with_training () =
+  let samples = List.map Trainer.make_sample (Helpers.instance_series ~count:3 ()) in
+  let model = Model.create ~seed:4 () in
+  let report = Trainer.train ~epochs:8 model samples in
+  Alcotest.(check int) "epochs" 8 report.Trainer.epochs_run;
+  let first = report.Trainer.losses.(0) in
+  let last = report.Trainer.losses.(7) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss decreased (%.4f -> %.4f)" first last)
+    true (last < first)
+
+let test_training_improves_over_untrained () =
+  let samples = List.map Trainer.make_sample (Helpers.instance_series ~count:3 ()) in
+  let untrained = Model.create ~seed:5 () in
+  let before = Trainer.evaluate untrained samples in
+  let trained = Model.create ~seed:5 () in
+  ignore (Trainer.train ~epochs:15 trained samples);
+  let after = Trainer.evaluate trained samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "satisfied improved (%.3f -> %.3f)" before after)
+    true (after > before)
+
+let test_loss_penalty_positive_on_overload () =
+  let inst = Helpers.congested_instance () in
+  let g = graph_of inst in
+  (* All-ones ratios overload links; loss must exceed the pure
+     supervised+flow term of a zero allocation. *)
+  let ones = A.const (Tensor.full g.Te_graph.num_paths 1 1.0) in
+  let zeros = A.const (Tensor.create g.Te_graph.num_paths 1) in
+  let labels = Tensor.create g.Te_graph.num_paths 1 in
+  let l_ones = A.scalar_value (Loss.compute Loss.default_config g ~pred_ratios:ones ~label_ratios:labels) in
+  let l_zero = A.scalar_value (Loss.compute Loss.default_config g ~pred_ratios:zeros ~label_ratios:labels) in
+  Alcotest.(check bool) "overload penalised" true (Float.is_finite l_ones && Float.is_finite l_zero)
+
+let test_label_ratios () =
+  let inst = Helpers.iridium_instance () in
+  let lp = Sate_te.Lp_solver.solve inst in
+  let labels = Loss.label_ratios_of_alloc inst lp in
+  Alcotest.(check int) "one label per path" (Instance.num_paths inst) labels.Tensor.rows;
+  Array.iter
+    (fun v -> Alcotest.(check bool) "ratio in [0,1]" true (v >= -1e-9 && v <= 1.0 +. 1e-6))
+    labels.Tensor.data
+
+let test_mean_aggregation_ablation () =
+  let inst = Helpers.iridium_instance () in
+  let g = graph_of inst in
+  let hyper = { Model.default_hyper with Model.attention = false } in
+  let model = Model.create ~hyper ~seed:6 () in
+  let y = Model.forward model g in
+  Alcotest.(check (pair int int)) "mean aggregation works" (g.Te_graph.num_paths, 1) (A.shape y)
+
+let suite =
+  [ Alcotest.test_case "graph counts" `Quick test_graph_counts;
+    Alcotest.test_case "edge indices in range" `Quick test_graph_edge_indices_in_range;
+    Alcotest.test_case "access relation ablation" `Quick test_graph_access_relation_ablation;
+    Alcotest.test_case "graph memory" `Quick test_graph_memory_smaller_than_dense;
+    Alcotest.test_case "gat shapes" `Quick test_gat_shapes;
+    Alcotest.test_case "gat empty edges" `Quick test_gat_empty_edges;
+    Alcotest.test_case "gat validation" `Quick test_gat_dim_heads_validation;
+    Alcotest.test_case "forward range" `Quick test_model_forward_range;
+    Alcotest.test_case "model deterministic" `Quick test_model_deterministic;
+    Alcotest.test_case "predict feasible" `Quick test_model_predict_feasible;
+    Alcotest.test_case "save/load" `Quick test_model_save_load;
+    Alcotest.test_case "loss decreases" `Slow test_loss_decreases_with_training;
+    Alcotest.test_case "training improves" `Slow test_training_improves_over_untrained;
+    Alcotest.test_case "loss finite on overload" `Quick test_loss_penalty_positive_on_overload;
+    Alcotest.test_case "label ratios" `Quick test_label_ratios;
+    Alcotest.test_case "mean aggregation" `Quick test_mean_aggregation_ablation ]

@@ -1,0 +1,141 @@
+(* Tests for Sate_lp.Simplex. *)
+
+open Sate_lp.Simplex
+
+let solve_opt ?maximize ~c ~constraints () =
+  match solve ?maximize ~c ~constraints () with
+  | Optimal { objective; solution } -> (objective, solution)
+  | Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Iteration_limit -> Alcotest.fail "unexpected iteration limit"
+
+let test_max_le () =
+  (* max 3x + 2y, x + y <= 4, x + 3y <= 6: optimum (4, 0) = 12. *)
+  let obj, sol =
+    solve_opt ~c:[| 3.0; 2.0 |]
+      ~constraints:
+        [ { coeffs = [| 1.0; 1.0 |]; sense = Le; rhs = 4.0 };
+          { coeffs = [| 1.0; 3.0 |]; sense = Le; rhs = 6.0 } ]
+      ()
+  in
+  Alcotest.(check (float 1e-6)) "objective" 12.0 obj;
+  Alcotest.(check (float 1e-6)) "x" 4.0 sol.(0);
+  Alcotest.(check (float 1e-6)) "y" 0.0 sol.(1)
+
+let test_min_ge_eq () =
+  (* min x + y, x + 2y >= 4, 3x + y = 6: optimum x=1.6 y=1.2, obj 2.8. *)
+  let obj, sol =
+    solve_opt ~maximize:false ~c:[| 1.0; 1.0 |]
+      ~constraints:
+        [ { coeffs = [| 1.0; 2.0 |]; sense = Ge; rhs = 4.0 };
+          { coeffs = [| 3.0; 1.0 |]; sense = Eq; rhs = 6.0 } ]
+      ()
+  in
+  Alcotest.(check (float 1e-6)) "objective" 2.8 obj;
+  Alcotest.(check (float 1e-6)) "x" 1.6 sol.(0);
+  Alcotest.(check (float 1e-6)) "y" 1.2 sol.(1)
+
+let test_infeasible () =
+  match
+    solve ~c:[| 1.0 |]
+      ~constraints:
+        [ { coeffs = [| 1.0 |]; sense = Le; rhs = 1.0 };
+          { coeffs = [| 1.0 |]; sense = Ge; rhs = 2.0 } ]
+      ()
+  with
+  | Infeasible -> ()
+  | Optimal _ | Unbounded | Iteration_limit -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  match
+    solve ~c:[| 1.0 |]
+      ~constraints:[ { coeffs = [| -1.0 |]; sense = Le; rhs = 0.0 } ]
+      ()
+  with
+  | Unbounded -> ()
+  | Optimal _ | Infeasible | Iteration_limit -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs_normalisation () =
+  (* x >= 2 written as -x <= -2; minimize x -> 2. *)
+  let obj, _ =
+    solve_opt ~maximize:false ~c:[| 1.0 |]
+      ~constraints:[ { coeffs = [| -1.0 |]; sense = Le; rhs = -2.0 } ]
+      ()
+  in
+  Alcotest.(check (float 1e-6)) "objective" 2.0 obj
+
+let test_degenerate () =
+  (* Redundant constraints with a tie: must still terminate. *)
+  let obj, _ =
+    solve_opt ~c:[| 1.0; 1.0 |]
+      ~constraints:
+        [ { coeffs = [| 1.0; 0.0 |]; sense = Le; rhs = 1.0 };
+          { coeffs = [| 1.0; 0.0 |]; sense = Le; rhs = 1.0 };
+          { coeffs = [| 0.0; 1.0 |]; sense = Le; rhs = 1.0 };
+          { coeffs = [| 1.0; 1.0 |]; sense = Le; rhs = 2.0 } ]
+      ()
+  in
+  Alcotest.(check (float 1e-6)) "objective" 2.0 obj
+
+let test_zero_objective () =
+  let obj, _ =
+    solve_opt ~c:[| 0.0; 0.0 |]
+      ~constraints:[ { coeffs = [| 1.0; 1.0 |]; sense = Le; rhs = 5.0 } ]
+      ()
+  in
+  Alcotest.(check (float 1e-6)) "objective" 0.0 obj
+
+let test_dimension_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Simplex.solve: coefficient length mismatch") (fun () ->
+      ignore
+        (solve ~c:[| 1.0; 2.0 |]
+           ~constraints:[ { coeffs = [| 1.0 |]; sense = Le; rhs = 1.0 } ]
+           ()))
+
+(* Random LPs: the returned solution must satisfy every constraint and
+   be at least as good as the origin when the origin is feasible. *)
+let prop_solution_feasible =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 4 in
+      let* m = int_range 1 5 in
+      let* c = array_repeat n (float_range (-5.0) 5.0) in
+      let* rows = array_repeat m (array_repeat n (float_range (-3.0) 3.0)) in
+      let* rhs = array_repeat m (float_range 0.5 10.0) in
+      return (c, rows, rhs))
+  in
+  QCheck.Test.make ~name:"simplex solution satisfies constraints" ~count:200
+    (QCheck.make gen)
+    (fun (c, rows, rhs) ->
+      let constraints =
+        Array.to_list
+          (Array.mapi (fun i coeffs -> { coeffs; sense = Le; rhs = rhs.(i) }) rows)
+      in
+      match solve ~c ~constraints () with
+      | Optimal { solution; objective } ->
+          let ok_constraints =
+            Array.for_all2
+              (fun coeffs b ->
+                let lhs = ref 0.0 in
+                Array.iteri (fun j a -> lhs := !lhs +. (a *. solution.(j))) coeffs;
+                !lhs <= b +. 1e-5)
+              rows rhs
+          in
+          let nonneg = Array.for_all (fun x -> x >= -1e-9) solution in
+          (* rhs > 0 so x = 0 is feasible: optimum must be >= 0. *)
+          ok_constraints && nonneg && objective >= -1e-6
+      | Unbounded -> true (* possible with negative row coefficients *)
+      | Infeasible -> false (* impossible: origin is feasible *)
+      | Iteration_limit -> false)
+
+let suite =
+  [ Alcotest.test_case "max with <=" `Quick test_max_le;
+    Alcotest.test_case "min with >= and =" `Quick test_min_ge_eq;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalisation;
+    Alcotest.test_case "degenerate" `Quick test_degenerate;
+    Alcotest.test_case "zero objective" `Quick test_zero_objective;
+    Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+    QCheck_alcotest.to_alcotest prop_solution_feasible ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sate"
+    [ ("util", Test_util.suite);
+      ("geo", Test_geo.suite);
+      ("orbit", Test_orbit.suite);
+      ("topology", Test_topology.suite);
+      ("traffic", Test_traffic.suite);
+      ("paths", Test_paths.suite);
+      ("lp", Test_lp.suite);
+      ("tensor", Test_tensor.suite);
+      ("nn", Test_nn.suite);
+      ("te", Test_te.suite);
+      ("gnn", Test_gnn.suite);
+      ("pruning", Test_pruning.suite);
+      ("baselines", Test_baselines.suite);
+      ("core", Test_core.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite) ]

@@ -1,0 +1,209 @@
+(* Tests for Sate_nn: autodiff gradient checks against finite
+   differences, layers, optimizer convergence. *)
+
+open Sate_tensor
+module A = Sate_nn.Autodiff
+module Layers = Sate_nn.Layers
+module Optimizer = Sate_nn.Optimizer
+module Rng = Sate_util.Rng
+
+(* Central finite-difference gradient of [f] wrt leaf [x], compared
+   against the autodiff gradient. *)
+let gradient_check ?(eps = 1e-5) ?(tol = 1e-3) name build x_data =
+  let x = A.leaf (Tensor.copy x_data) in
+  let loss = build x in
+  A.backward loss;
+  let analytic = Tensor.copy x.A.grad in
+  Array.iteri
+    (fun i _ ->
+      let orig = x_data.Tensor.data.(i) in
+      let eval v =
+        let x' = A.leaf (Tensor.copy x_data) in
+        x'.A.value.Tensor.data.(i) <- v;
+        A.scalar_value (build x')
+      in
+      let numeric = (eval (orig +. eps) -. eval (orig -. eps)) /. (2.0 *. eps) in
+      let a = analytic.Tensor.data.(i) in
+      if Float.abs (numeric -. a) > tol *. Float.max 1.0 (Float.abs numeric) then
+        Alcotest.failf "%s: grad[%d] analytic=%.6f numeric=%.6f" name i a numeric)
+    x_data.Tensor.data
+
+let rand_tensor seed rows cols =
+  let rng = Rng.create seed in
+  Tensor.init rows cols (fun _ _ -> Rng.uniform rng (-1.0) 1.0)
+
+let test_grad_add_mul () =
+  gradient_check "sum((x + x) * x)"
+    (fun x -> A.sum (A.mul (A.add x x) x))
+    (rand_tensor 1 3 2)
+
+let test_grad_matmul () =
+  let w = rand_tensor 2 4 3 in
+  gradient_check "sum(x W)" (fun x -> A.sum (A.matmul x (A.const w))) (rand_tensor 3 2 4)
+
+let test_grad_matmul_left () =
+  let x = rand_tensor 4 2 3 in
+  gradient_check "sum(X w) wrt w"
+    (fun w -> A.sum (A.matmul (A.const x) w))
+    (rand_tensor 5 3 2)
+
+let test_grad_leaky_relu () =
+  gradient_check "sum(leaky_relu(x)^2)"
+    (fun x -> A.sum (A.square (A.leaky_relu x)))
+    (rand_tensor 6 3 3)
+
+let test_grad_sigmoid () =
+  gradient_check "sum(sigmoid(x))" (fun x -> A.sum (A.sigmoid x)) (rand_tensor 7 2 3)
+
+let test_grad_exp_clamp () =
+  gradient_check "sum(exp(clamp(x)))"
+    (fun x -> A.sum (A.exp (A.clamp_max 0.5 x)))
+    (rand_tensor 8 2 3)
+
+let test_grad_gather () =
+  gradient_check "sum(gather(x)^2)"
+    (fun x -> A.sum (A.square (A.gather_rows x [| 0; 2; 0; 1 |])))
+    (rand_tensor 9 3 2)
+
+let test_grad_scatter () =
+  gradient_check "sum(scatter(x)^2)"
+    (fun x -> A.sum (A.square (A.scatter_add_rows x [| 1; 0; 1 |] ~rows:2)))
+    (rand_tensor 10 3 2)
+
+let test_grad_segment_softmax () =
+  gradient_check "softmax attention"
+    (fun x ->
+      let alpha = A.segment_softmax x [| 0; 0; 1; 1; 1 |] in
+      A.sum (A.mul alpha (A.const (rand_tensor 11 5 1))))
+    (rand_tensor 12 5 1)
+
+let test_grad_col_mul () =
+  let v = rand_tensor 13 4 1 in
+  gradient_check "col_mul wrt matrix"
+    (fun x -> A.sum (A.col_mul x (A.const v)))
+    (rand_tensor 14 4 3);
+  let m = rand_tensor 15 4 3 in
+  gradient_check "col_mul wrt vector"
+    (fun v -> A.sum (A.square (A.col_mul (A.const m) v)))
+    (rand_tensor 16 4 1)
+
+let test_grad_add_rowvec () =
+  let m = rand_tensor 17 3 4 in
+  gradient_check "add_rowvec wrt vector"
+    (fun v -> A.sum (A.square (A.add_rowvec (A.const m) v)))
+    (rand_tensor 18 1 4)
+
+let test_grad_concat () =
+  gradient_check "concat_cols"
+    (fun x -> A.sum (A.square (A.concat_cols [ x; A.const (rand_tensor 19 3 2) ])))
+    (rand_tensor 20 3 2)
+
+let test_grad_row_sums () =
+  gradient_check "row_sums" (fun x -> A.sum (A.square (A.row_sums x))) (rand_tensor 21 3 4)
+
+let test_grad_div_scalar () =
+  gradient_check "div_scalar"
+    (fun x -> A.sum (A.div_scalar x (A.scalar 2.5)))
+    (rand_tensor 22 2 3)
+
+let test_grad_mean () =
+  gradient_check "mean" (fun x -> A.mean (A.square x)) (rand_tensor 23 3 3)
+
+let test_grad_composite_attention () =
+  (* A miniature GAT-like computation: the composite must also pass. *)
+  let w = rand_tensor 24 2 2 in
+  let src = [| 0; 1; 2; 0 |] and dst = [| 1; 2; 0; 2 |] in
+  gradient_check ~tol:5e-3 "mini attention block"
+    (fun x ->
+      let h = A.matmul x (A.const w) in
+      let hs = A.gather_rows h src in
+      let hd = A.gather_rows h dst in
+      let scores = A.leaky_relu (A.row_sums (A.mul hs hd)) in
+      let alpha = A.segment_softmax scores dst in
+      let agg = A.scatter_add_rows (A.col_mul hs alpha) dst ~rows:3 in
+      A.sum (A.square agg))
+    (rand_tensor 25 3 2)
+
+let test_backward_requires_scalar () =
+  let x = A.leaf (rand_tensor 26 2 2) in
+  Alcotest.check_raises "non-scalar root"
+    (Invalid_argument "Autodiff.backward: root must be scalar") (fun () ->
+      A.backward x)
+
+let test_linear_shapes () =
+  let rng = Rng.create 27 in
+  let l = Layers.linear rng ~in_dim:4 ~out_dim:3 in
+  let y = Layers.forward_linear l (A.const (rand_tensor 28 5 4)) in
+  Alcotest.(check (pair int int)) "output shape" (5, 3) (A.shape y)
+
+let test_mlp_shapes () =
+  let rng = Rng.create 29 in
+  let m = Layers.mlp rng ~dims:[ 4; 8; 2 ] in
+  let y = Layers.forward_mlp m (A.const (rand_tensor 30 3 4)) in
+  Alcotest.(check (pair int int)) "output shape" (3, 2) (A.shape y);
+  Alcotest.(check int) "param count" ((4 * 8) + 8 + (8 * 2) + 2)
+    (Layers.num_parameters (Layers.mlp_params m))
+
+let test_dump_load_roundtrip () =
+  let rng = Rng.create 31 in
+  let m1 = Layers.mlp rng ~dims:[ 3; 5; 1 ] in
+  let m2 = Layers.mlp (Rng.create 99) ~dims:[ 3; 5; 1 ] in
+  Layers.load_params (Layers.mlp_params m2) (Layers.dump_params (Layers.mlp_params m1));
+  let x = rand_tensor 32 2 3 in
+  let y1 = Layers.forward_mlp m1 (A.const x) and y2 = Layers.forward_mlp m2 (A.const x) in
+  Alcotest.(check bool) "identical outputs" true (y1.A.value.Tensor.data = y2.A.value.Tensor.data)
+
+let test_adam_minimises_quadratic () =
+  (* Minimise ||x - target||^2. *)
+  let target = rand_tensor 33 2 3 in
+  let x = A.leaf (Tensor.create 2 3) in
+  let opt = Optimizer.adam ~lr:0.05 [ x ] in
+  for _ = 1 to 500 do
+    let loss = A.sum (A.square (A.sub x (A.const target))) in
+    A.backward loss;
+    Optimizer.step opt
+  done;
+  let err = Tensor.frobenius (Tensor.sub x.A.value target) in
+  Alcotest.(check bool) "converged" true (err < 0.02)
+
+let test_adam_clipping () =
+  (* A huge gradient must not produce a huge first step. *)
+  let x = A.leaf (Tensor.of_array ~rows:1 ~cols:1 [| 0.0 |]) in
+  let opt = Optimizer.adam ~lr:0.1 ~clip_norm:1.0 [ x ] in
+  let loss = A.scale 1e9 (A.sum x) in
+  A.backward loss;
+  Optimizer.step opt;
+  Alcotest.(check bool) "bounded step" true (Float.abs x.A.value.Tensor.data.(0) <= 0.11)
+
+let test_grad_accumulation_zeroed () =
+  let x = A.leaf (rand_tensor 34 1 2) in
+  let opt = Optimizer.adam [ x ] in
+  let loss = A.sum x in
+  A.backward loss;
+  Optimizer.step opt;
+  Alcotest.(check (float 0.0)) "grads zeroed after step" 0.0 (Tensor.sum x.A.grad)
+
+let suite =
+  [ Alcotest.test_case "grad add/mul" `Quick test_grad_add_mul;
+    Alcotest.test_case "grad matmul right" `Quick test_grad_matmul;
+    Alcotest.test_case "grad matmul left" `Quick test_grad_matmul_left;
+    Alcotest.test_case "grad leaky_relu" `Quick test_grad_leaky_relu;
+    Alcotest.test_case "grad sigmoid" `Quick test_grad_sigmoid;
+    Alcotest.test_case "grad exp/clamp" `Quick test_grad_exp_clamp;
+    Alcotest.test_case "grad gather" `Quick test_grad_gather;
+    Alcotest.test_case "grad scatter" `Quick test_grad_scatter;
+    Alcotest.test_case "grad segment softmax" `Quick test_grad_segment_softmax;
+    Alcotest.test_case "grad col_mul" `Quick test_grad_col_mul;
+    Alcotest.test_case "grad add_rowvec" `Quick test_grad_add_rowvec;
+    Alcotest.test_case "grad concat" `Quick test_grad_concat;
+    Alcotest.test_case "grad row_sums" `Quick test_grad_row_sums;
+    Alcotest.test_case "grad div_scalar" `Quick test_grad_div_scalar;
+    Alcotest.test_case "grad mean" `Quick test_grad_mean;
+    Alcotest.test_case "grad attention composite" `Quick test_grad_composite_attention;
+    Alcotest.test_case "backward scalar only" `Quick test_backward_requires_scalar;
+    Alcotest.test_case "linear shapes" `Quick test_linear_shapes;
+    Alcotest.test_case "mlp shapes" `Quick test_mlp_shapes;
+    Alcotest.test_case "dump/load" `Quick test_dump_load_roundtrip;
+    Alcotest.test_case "adam quadratic" `Quick test_adam_minimises_quadratic;
+    Alcotest.test_case "adam clipping" `Quick test_adam_clipping;
+    Alcotest.test_case "grads zeroed" `Quick test_grad_accumulation_zeroed ]

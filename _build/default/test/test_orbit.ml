@@ -1,0 +1,120 @@
+(* Tests for Sate_orbit: shells, propagation, constellation indexing. *)
+
+module Geo = Sate_geo.Geo
+module Shell = Sate_orbit.Shell
+module Constellation = Sate_orbit.Constellation
+
+let starlink_shell_1 =
+  Shell.make ~altitude_km:540.0 ~inclination_deg:53.2 ~planes:72 ~sats_per_plane:22 ()
+
+let test_shell_size () =
+  Alcotest.(check int) "72 x 22" 1584 (Shell.size starlink_shell_1)
+
+let test_shell_period () =
+  (* LEO at ~550 km altitude: orbital period in the 90-100 min band. *)
+  let p = Shell.period_s starlink_shell_1 /. 60.0 in
+  Alcotest.(check bool) "period 90-100 min" true (p > 90.0 && p < 100.0)
+
+let test_shell_radius_constant () =
+  let expected = Geo.earth_radius_km +. 540.0 in
+  List.iter
+    (fun time_s ->
+      let p = Shell.position starlink_shell_1 ~plane:3 ~slot:7 ~time_s in
+      Alcotest.(check (float 1e-6)) "circular orbit radius" expected (Geo.norm p))
+    [ 0.0; 100.0; 1234.5; 86400.0 ]
+
+let test_shell_moves () =
+  let a = Shell.position starlink_shell_1 ~plane:0 ~slot:0 ~time_s:0.0 in
+  let b = Shell.position starlink_shell_1 ~plane:0 ~slot:0 ~time_s:10.0 in
+  (* ~7.6 km/s orbital speed -> ~76 km in 10 s. *)
+  let d = Geo.distance a b in
+  Alcotest.(check bool) "moved 60-90 km" true (d > 60.0 && d < 90.0)
+
+let test_shell_inclination_bounds () =
+  (* Latitude never exceeds the inclination for a circular orbit. *)
+  for t = 0 to 100 do
+    let p = Shell.position starlink_shell_1 ~plane:11 ~slot:3 ~time_s:(float_of_int t *. 60.0) in
+    Alcotest.(check bool) "lat bounded by inclination" true
+      (Float.abs (Geo.latitude_deg p) <= 53.2 +. 1e-6)
+  done
+
+let test_shell_validation () =
+  Alcotest.check_raises "zero planes"
+    (Invalid_argument "Shell.make: counts must be positive") (fun () ->
+      ignore (Shell.make ~altitude_km:550.0 ~inclination_deg:53.0 ~planes:0 ~sats_per_plane:5 ()))
+
+let test_starlink_size () =
+  Alcotest.(check int) "4236 satellites" 4236 (Constellation.size Constellation.starlink_phase1)
+
+let test_iridium_size () =
+  Alcotest.(check int) "66 satellites" 66 (Constellation.size Constellation.iridium)
+
+let test_of_scale () =
+  List.iter
+    (fun n -> Alcotest.(check int) "scale" n (Constellation.size (Constellation.of_scale n)))
+    [ 66; 176; 396; 528; 1584; 4236 ];
+  Alcotest.check_raises "unknown scale"
+    (Invalid_argument "Constellation.of_scale: unknown scale 100") (fun () ->
+      ignore (Constellation.of_scale 100))
+
+let test_coord_roundtrip_manual () =
+  let c = Constellation.starlink_phase1 in
+  let coord = { Constellation.shell = 2; plane = 3; slot = 41 } in
+  let id = Constellation.id_of_coord c coord in
+  Alcotest.(check bool) "roundtrip" true (Constellation.coord_of_id c id = coord)
+
+let test_coord_out_of_range () =
+  let c = Constellation.iridium in
+  Alcotest.check_raises "bad id" (Invalid_argument "Constellation.coord_of_id")
+    (fun () -> ignore (Constellation.coord_of_id c 66))
+
+let test_positions_all () =
+  let c = Constellation.iridium in
+  let ps = Constellation.positions c ~time_s:0.0 in
+  Alcotest.(check int) "all satellites" 66 (Array.length ps);
+  Array.iter
+    (fun p ->
+      Alcotest.(check (float 1e-6)) "iridium radius"
+        (Geo.earth_radius_km +. 781.0) (Geo.norm p))
+    ps
+
+let test_shells_distinct_altitudes () =
+  let c = Constellation.starlink_phase1 in
+  let shells = Constellation.shells c in
+  Alcotest.(check int) "four shells" 4 (Array.length shells);
+  let alts = Array.map (fun s -> s.Shell.altitude_km) shells in
+  Alcotest.(check (array (float 0.0))) "altitudes" [| 540.0; 550.0; 560.0; 570.0 |] alts
+
+let prop_coord_roundtrip =
+  QCheck.Test.make ~name:"coord_of_id inverse of id_of_coord" ~count:500
+    QCheck.(int_bound 4235)
+    (fun id ->
+      let c = Constellation.starlink_phase1 in
+      Constellation.id_of_coord c (Constellation.coord_of_id c id) = id)
+
+let prop_position_radius =
+  QCheck.Test.make ~name:"positions stay on shell radius" ~count:200
+    QCheck.(pair (int_bound 4235) (float_bound_inclusive 10000.0))
+    (fun (id, t) ->
+      let c = Constellation.starlink_phase1 in
+      let coord = Constellation.coord_of_id c id in
+      let shell = (Constellation.shells c).(coord.Constellation.shell) in
+      let p = Constellation.position c ~time_s:t id in
+      Float.abs (Geo.norm p -. Shell.semi_major_axis_km shell) < 1e-6)
+
+let suite =
+  [ Alcotest.test_case "shell size" `Quick test_shell_size;
+    Alcotest.test_case "shell period" `Quick test_shell_period;
+    Alcotest.test_case "radius constant" `Quick test_shell_radius_constant;
+    Alcotest.test_case "shell moves" `Quick test_shell_moves;
+    Alcotest.test_case "inclination bounds" `Quick test_shell_inclination_bounds;
+    Alcotest.test_case "shell validation" `Quick test_shell_validation;
+    Alcotest.test_case "starlink size" `Quick test_starlink_size;
+    Alcotest.test_case "iridium size" `Quick test_iridium_size;
+    Alcotest.test_case "of_scale" `Quick test_of_scale;
+    Alcotest.test_case "coord roundtrip" `Quick test_coord_roundtrip_manual;
+    Alcotest.test_case "coord out of range" `Quick test_coord_out_of_range;
+    Alcotest.test_case "positions all" `Quick test_positions_all;
+    Alcotest.test_case "shell altitudes" `Quick test_shells_distinct_altitudes;
+    QCheck_alcotest.to_alcotest prop_coord_roundtrip;
+    QCheck_alcotest.to_alcotest prop_position_radius ]

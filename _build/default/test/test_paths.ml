@@ -1,0 +1,278 @@
+(* Tests for Sate_paths: Path, Dijkstra, Yen, grid paths, path DB. *)
+
+module Geo = Sate_geo.Geo
+module Constellation = Sate_orbit.Constellation
+module Builder = Sate_topology.Builder
+module Snapshot = Sate_topology.Snapshot
+module Link = Sate_topology.Link
+module Path = Sate_paths.Path
+module Dijkstra = Sate_paths.Dijkstra
+module Yen = Sate_paths.Yen
+module Grid_paths = Sate_paths.Grid_paths
+module Path_db = Sate_paths.Path_db
+
+let iridium = Constellation.iridium
+
+let iridium_snapshot () =
+  let b = Builder.create iridium in
+  Builder.snapshot b ~time_s:0.0
+
+let mid_size_snapshot mode =
+  let c = Constellation.mid_size ~plane_divisor:8 in
+  let b = Builder.create ~config:{ Builder.default_config with Builder.cross_shell = mode } c in
+  (c, Builder.snapshot b ~time_s:0.0)
+
+let test_path_of_list () =
+  let p = Path.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "hops" 2 (Path.hops p);
+  Alcotest.(check int) "source" 1 (Path.source p);
+  Alcotest.(check int) "destination" 3 (Path.destination p);
+  Alcotest.(check bool) "loopless" true (Path.is_loopless p);
+  Alcotest.check_raises "single node"
+    (Invalid_argument "Path.of_list: need at least two nodes") (fun () ->
+      ignore (Path.of_list [ 1 ]));
+  Alcotest.check_raises "repeat" (Invalid_argument "Path.of_list: repeated node")
+    (fun () -> ignore (Path.of_list [ 1; 1; 2 ]))
+
+let test_path_loop_detection () =
+  Alcotest.(check bool) "loop detected" false (Path.is_loopless (Path.of_list [ 1; 2; 1 ]))
+
+let test_dijkstra_reachable () =
+  let s = iridium_snapshot () in
+  match Dijkstra.shortest s ~src:0 ~dst:40 with
+  | Some p ->
+      Alcotest.(check int) "starts at src" 0 (Path.source p);
+      Alcotest.(check int) "ends at dst" 40 (Path.destination p);
+      Alcotest.(check bool) "valid" true (Path.valid_in s p)
+  | None -> Alcotest.fail "iridium is connected"
+
+let test_dijkstra_hops_optimal () =
+  let s = iridium_snapshot () in
+  (* BFS distance must match Dijkstra with hop weights. *)
+  let d = Dijkstra.distances s ~src:0 in
+  match Dijkstra.shortest s ~src:0 ~dst:30 with
+  | Some p -> Alcotest.(check (float 1e-9)) "hop count matches" d.(30) (float_of_int (Path.hops p))
+  | None -> Alcotest.fail "unreachable"
+
+let test_dijkstra_banned () =
+  let s = iridium_snapshot () in
+  let via = match Dijkstra.shortest s ~src:0 ~dst:2 with
+    | Some p -> Path.to_list p
+    | None -> Alcotest.fail "unreachable"
+  in
+  (* Ban intermediate nodes; new route must avoid them. *)
+  let banned = List.filter (fun n -> n <> 0 && n <> 2) via in
+  match Dijkstra.shortest ~banned_nodes:(fun n -> List.mem n banned) s ~src:0 ~dst:2 with
+  | Some p ->
+      List.iter
+        (fun n -> Alcotest.(check bool) "avoids banned" false (List.mem n banned))
+        (Path.to_list p)
+  | None -> () (* disconnection is acceptable *)
+
+let test_dijkstra_km_weight () =
+  let s = iridium_snapshot () in
+  match Dijkstra.shortest ~weight:Dijkstra.Km s ~src:0 ~dst:7 with
+  | Some p ->
+      Alcotest.(check bool) "length positive" true (Path.length_km s p > 0.0);
+      Alcotest.(check bool) "delay positive" true (Path.delay_ms s p > 0.0)
+  | None -> Alcotest.fail "unreachable"
+
+let test_yen_properties () =
+  let s = iridium_snapshot () in
+  let k = 5 in
+  let paths = Yen.k_shortest s ~src:0 ~dst:25 ~k in
+  Alcotest.(check bool) "got some paths" true (List.length paths >= 1);
+  Alcotest.(check bool) "at most k" true (List.length paths <= k);
+  (* All valid, loopless, correct endpoints, unique. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "valid" true (Path.valid_in s p);
+      Alcotest.(check bool) "loopless" true (Path.is_loopless p);
+      Alcotest.(check int) "src" 0 (Path.source p);
+      Alcotest.(check int) "dst" 25 (Path.destination p))
+    paths;
+  let uniq = List.sort_uniq Path.compare paths in
+  Alcotest.(check int) "unique" (List.length paths) (List.length uniq);
+  (* Non-decreasing hop counts. *)
+  let hops = List.map Path.hops paths in
+  Alcotest.(check (list int)) "sorted by cost" (List.sort compare hops) hops
+
+let test_yen_first_is_shortest () =
+  let s = iridium_snapshot () in
+  match (Yen.k_shortest s ~src:3 ~dst:50 ~k:3, Dijkstra.shortest s ~src:3 ~dst:50) with
+  | p1 :: _, Some sp ->
+      Alcotest.(check int) "first path is shortest" (Path.hops sp) (Path.hops p1)
+  | _ -> Alcotest.fail "expected paths"
+
+let test_grid_intra_candidates () =
+  (* Iridium: 6 planes x 11 slots.  From (0,0) to (2,3): dx=2, dy=3,
+     C(5,2) = 10 staircases. *)
+  let src = Constellation.id_of_coord iridium { Constellation.shell = 0; plane = 0; slot = 0 } in
+  let dst = Constellation.id_of_coord iridium { Constellation.shell = 0; plane = 2; slot = 3 } in
+  let cands = Grid_paths.intra_shell_candidates iridium ~src ~dst ~limit:100 in
+  Alcotest.(check int) "C(5,2) staircases" 10 (List.length cands);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "min hops" 5 (Path.hops p);
+      Alcotest.(check int) "src" src (Path.source p);
+      Alcotest.(check int) "dst" dst (Path.destination p);
+      Alcotest.(check bool) "loopless" true (Path.is_loopless p))
+    cands;
+  let uniq = List.sort_uniq Path.compare cands in
+  Alcotest.(check int) "unique" 10 (List.length uniq)
+
+let test_grid_wraparound () =
+  (* Wrap in the plane dimension: plane 5 -> plane 0 is one hop. *)
+  let src = Constellation.id_of_coord iridium { Constellation.shell = 0; plane = 5; slot = 0 } in
+  let dst = Constellation.id_of_coord iridium { Constellation.shell = 0; plane = 0; slot = 0 } in
+  let cands = Grid_paths.intra_shell_candidates iridium ~src ~dst ~limit:10 in
+  match cands with
+  | [ p ] -> Alcotest.(check int) "one hop across the seam" 1 (Path.hops p)
+  | _ -> Alcotest.fail "expected exactly one minimal path"
+
+let test_grid_k_shortest_same_shell () =
+  let s = iridium_snapshot () in
+  let paths = Grid_paths.k_shortest iridium s ~src:0 ~dst:35 ~k:4 in
+  Alcotest.(check bool) "paths found" true (List.length paths >= 1);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "valid" true (Path.valid_in s p);
+      Alcotest.(check bool) "loopless" true (Path.is_loopless p);
+      Alcotest.(check int) "src" 0 (Path.source p);
+      Alcotest.(check int) "dst" 35 (Path.destination p))
+    paths
+
+let test_grid_k_shortest_matches_optimal_hops () =
+  let s = iridium_snapshot () in
+  List.iter
+    (fun (src, dst) ->
+      match (Grid_paths.k_shortest iridium s ~src ~dst ~k:1, Dijkstra.shortest s ~src ~dst) with
+      | p :: _, Some sp ->
+          Alcotest.(check int)
+            (Printf.sprintf "grid optimal %d->%d" src dst)
+            (Path.hops sp) (Path.hops p)
+      | [], None -> ()
+      | [], Some _ -> Alcotest.fail "grid found nothing but Dijkstra did"
+      | _ :: _, None -> Alcotest.fail "grid found a path where none exists")
+    [ (0, 12); (5, 60); (11, 44); (2, 3) ]
+
+let test_grid_cross_shell_laser () =
+  let c, s = mid_size_snapshot Builder.Lasers in
+  let shells = Constellation.shells c in
+  let shell1_start = Sate_orbit.Shell.size shells.(0) in
+  let src = 0 and dst = shell1_start + 50 in
+  let paths = Grid_paths.k_shortest c s ~src ~dst ~k:3 in
+  Alcotest.(check bool) "cross-shell paths found" true (List.length paths >= 1);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "valid" true (Path.valid_in s p);
+      Alcotest.(check int) "src" src (Path.source p);
+      Alcotest.(check int) "dst" dst (Path.destination p))
+    paths
+
+let test_grid_cross_shell_relay () =
+  let c, s = mid_size_snapshot Builder.Ground_relays in
+  let shells = Constellation.shells c in
+  let shell1_start = Sate_orbit.Shell.size shells.(0) in
+  let src = 3 and dst = shell1_start + 20 in
+  let paths = Grid_paths.k_shortest c s ~src ~dst ~k:3 in
+  Alcotest.(check bool) "bent-pipe paths found" true (List.length paths >= 1);
+  List.iter
+    (fun p -> Alcotest.(check bool) "valid" true (Path.valid_in s p))
+    paths
+
+let test_path_db_compute_and_update () =
+  let b = Builder.create iridium in
+  let s0 = Builder.snapshot b ~time_s:0.0 in
+  let pairs = [ (0, 20); (5, 40); (11, 60) ] in
+  let db = Path_db.compute iridium s0 ~pairs ~k:3 in
+  let n_pairs, n_paths = Path_db.stats db in
+  Alcotest.(check int) "three pairs" 3 n_pairs;
+  Alcotest.(check bool) "paths stored" true (n_paths >= 3);
+  (* Unchanged topology: update recomputes nothing. *)
+  let _, recomputed = Path_db.update db s0 in
+  Alcotest.(check int) "no recompute on same snapshot" 0 recomputed;
+  (* Add a pair. *)
+  let db2 = Path_db.add_pairs db s0 [ (1, 2) ] in
+  Alcotest.(check int) "four pairs" 4 (fst (Path_db.stats db2));
+  Alcotest.(check bool) "existing untouched" true
+    (Path_db.paths db2 ~src:0 ~dst:20 = Path_db.paths db ~src:0 ~dst:20)
+
+let test_path_db_update_after_break () =
+  let b = Builder.create iridium in
+  let s0 = Builder.snapshot b ~time_s:0.0 in
+  let pairs = [ (0, 20); (5, 40) ] in
+  let db = Path_db.compute iridium s0 ~pairs ~k:3 in
+  (* Remove the links of the first stored path of pair (0, 20). *)
+  let victim = List.hd (Path_db.paths db ~src:0 ~dst:20) in
+  let nodes = Path.to_list victim in
+  let rec pairs_of = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs_of rest
+    | _ -> []
+  in
+  let degraded = Snapshot.remove_links s0 (pairs_of nodes) in
+  let db', recomputed = Path_db.update db degraded in
+  Alcotest.(check bool) "at least one pair recomputed" true (recomputed >= 1);
+  List.iter
+    (fun (src, dst) ->
+      List.iter
+        (fun p -> Alcotest.(check bool) "paths valid after update" true (Path.valid_in degraded p))
+        (Path_db.paths db' ~src ~dst))
+    pairs
+
+let test_link_indices () =
+  let s = iridium_snapshot () in
+  match Dijkstra.shortest s ~src:0 ~dst:10 with
+  | Some p ->
+      let links = Path.link_indices s p in
+      Alcotest.(check int) "one index per hop" (Path.hops p) (Array.length links);
+      Array.iter
+        (fun li ->
+          Alcotest.(check bool) "index in range" true
+            (li >= 0 && li < Array.length s.Snapshot.links))
+        links
+  | None -> Alcotest.fail "unreachable"
+
+let prop_grid_candidates_minimal =
+  (* All staircase candidates have exactly the wrapped Manhattan hop
+     count. *)
+  QCheck.Test.make ~name:"staircase candidates are minimum-hop" ~count:100
+    QCheck.(pair (int_bound 65) (int_bound 65))
+    (fun (src, dst) ->
+      QCheck.assume (src <> dst);
+      let cands = Grid_paths.intra_shell_candidates iridium ~src ~dst ~limit:32 in
+      match cands with
+      | [] -> false
+      | first :: _ ->
+          let h = Path.hops first in
+          List.for_all (fun p -> Path.hops p = h) cands)
+
+let prop_yen_loopless =
+  QCheck.Test.make ~name:"yen paths loopless and valid" ~count:40
+    QCheck.(pair (int_bound 65) (int_bound 65))
+    (fun (src, dst) ->
+      QCheck.assume (src <> dst);
+      let s = iridium_snapshot () in
+      Yen.k_shortest s ~src ~dst ~k:3
+      |> List.for_all (fun p -> Path.is_loopless p && Path.valid_in s p))
+
+let suite =
+  [ Alcotest.test_case "path of_list" `Quick test_path_of_list;
+    Alcotest.test_case "loop detection" `Quick test_path_loop_detection;
+    Alcotest.test_case "dijkstra reachable" `Quick test_dijkstra_reachable;
+    Alcotest.test_case "dijkstra optimal" `Quick test_dijkstra_hops_optimal;
+    Alcotest.test_case "dijkstra banned" `Quick test_dijkstra_banned;
+    Alcotest.test_case "dijkstra km" `Quick test_dijkstra_km_weight;
+    Alcotest.test_case "yen properties" `Quick test_yen_properties;
+    Alcotest.test_case "yen first shortest" `Quick test_yen_first_is_shortest;
+    Alcotest.test_case "grid intra candidates" `Quick test_grid_intra_candidates;
+    Alcotest.test_case "grid wraparound" `Quick test_grid_wraparound;
+    Alcotest.test_case "grid same shell" `Quick test_grid_k_shortest_same_shell;
+    Alcotest.test_case "grid optimal hops" `Quick test_grid_k_shortest_matches_optimal_hops;
+    Alcotest.test_case "grid cross-shell laser" `Quick test_grid_cross_shell_laser;
+    Alcotest.test_case "grid cross-shell relay" `Quick test_grid_cross_shell_relay;
+    Alcotest.test_case "path db compute/update" `Quick test_path_db_compute_and_update;
+    Alcotest.test_case "path db after break" `Quick test_path_db_update_after_break;
+    Alcotest.test_case "link indices" `Quick test_link_indices;
+    QCheck_alcotest.to_alcotest prop_grid_candidates_minimal;
+    QCheck_alcotest.to_alcotest prop_yen_loopless ]

@@ -1,0 +1,177 @@
+(* Tests for Sate_te: instances, allocations, trimming, LP solver. *)
+
+module Instance = Sate_te.Instance
+module Allocation = Sate_te.Allocation
+module Lp_solver = Sate_te.Lp_solver
+module Rng = Sate_util.Rng
+
+let test_instance_construction () =
+  let inst = Helpers.iridium_instance () in
+  Alcotest.(check bool) "has commodities" true (Instance.num_commodities inst > 0);
+  Alcotest.(check bool) "has paths" true (Instance.num_paths inst > 0);
+  Alcotest.(check bool) "demand positive" true (Instance.total_demand inst > 0.0);
+  Alcotest.(check bool) "routable <= total" true
+    (Instance.routable_demand inst <= Instance.total_demand inst +. 1e-9);
+  let used = Instance.used_links inst in
+  Alcotest.(check bool) "used links sorted unique" true
+    (Array.for_all2 ( = )
+       used
+       (let c = Array.copy used in
+        Array.sort compare c;
+        c))
+
+let test_zeros_allocation () =
+  let inst = Helpers.iridium_instance () in
+  let alloc = Allocation.zeros inst in
+  Alcotest.(check (float 0.0)) "no flow" 0.0 (Allocation.total_flow alloc);
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible inst alloc);
+  Alcotest.(check (float 0.0)) "mlu zero" 0.0 (Allocation.mlu inst alloc)
+
+let test_scale_to_demand () =
+  let inst = Helpers.iridium_instance () in
+  let alloc = Allocation.zeros inst in
+  (* Grossly over-allocate every path, including negative noise. *)
+  Array.iteri
+    (fun f rates ->
+      Array.iteri
+        (fun p _ ->
+          rates.(p) <-
+            (if p mod 2 = 0 then 1e6 else -5.0))
+        alloc.(f);
+      ignore f)
+    alloc;
+  let scaled = Allocation.scale_to_demand inst alloc in
+  Array.iteri
+    (fun f rates ->
+      let total = Array.fold_left ( +. ) 0.0 rates in
+      let demand = inst.Instance.commodities.(f).Instance.demand_mbps in
+      Alcotest.(check bool) "within demand" true (total <= demand +. 1e-6);
+      Array.iter (fun r -> Alcotest.(check bool) "nonneg" true (r >= 0.0)) rates)
+    scaled
+
+let test_trim_always_feasible () =
+  let inst = Helpers.congested_instance () in
+  let rng = Rng.create 3 in
+  for _ = 1 to 10 do
+    let alloc = Allocation.zeros inst in
+    Array.iter
+      (fun rates ->
+        Array.iteri (fun p _ -> rates.(p) <- Rng.uniform rng (-10.0) 500.0) rates)
+      alloc;
+    let trimmed = Allocation.trim inst alloc in
+    Alcotest.(check bool) "trim output feasible" true (Allocation.is_feasible inst trimmed)
+  done
+
+let test_trim_keeps_feasible_allocation () =
+  let inst = Helpers.iridium_instance () in
+  let lp = Lp_solver.solve inst in
+  let again = Allocation.trim inst lp in
+  (* Trimming a feasible allocation must not lose throughput. *)
+  Alcotest.(check (float 1e-6)) "no loss"
+    (Allocation.total_flow lp) (Allocation.total_flow again)
+
+let test_lp_optimality_vs_heuristics () =
+  let inst = Helpers.congested_instance () in
+  let lp = Lp_solver.solve inst in
+  Alcotest.(check bool) "lp feasible" true (Allocation.is_feasible inst lp);
+  let ecmp = Sate_baselines.Ecmp_wf.solve inst in
+  let bp = Sate_baselines.Satellite_routing.solve inst in
+  let lp_flow = Allocation.total_flow lp in
+  Alcotest.(check bool) "lp >= ecmp" true (lp_flow >= Allocation.total_flow ecmp -. 1e-6);
+  Alcotest.(check bool) "lp >= backpressure" true (lp_flow >= Allocation.total_flow bp -. 1e-6)
+
+let test_lp_light_load_satisfies_all () =
+  let inst = Helpers.iridium_instance ~lambda:2.0 ~warmup:10.0 () in
+  let lp = Lp_solver.solve inst in
+  Alcotest.(check bool) "nearly all demand satisfied" true
+    (Allocation.satisfied_ratio inst lp > 0.99)
+
+let test_mlu_routes_all_demand () =
+  let inst = Helpers.iridium_instance ~lambda:5.0 () in
+  let alloc, t = Lp_solver.solve_with_value ~objective:Lp_solver.Min_mlu inst in
+  (* All routable demand must be carried (equality constraints). *)
+  let flow = Allocation.total_flow alloc in
+  Alcotest.(check bool) "all routable demand routed" true
+    (Float.abs (flow -. Instance.routable_demand inst) < 1e-3);
+  Alcotest.(check (float 1e-4)) "objective equals achieved MLU" t (Allocation.mlu inst alloc)
+
+let test_mlu_below_throughput_mlu () =
+  let inst = Helpers.iridium_instance ~lambda:5.0 () in
+  let mlu_alloc, t = Lp_solver.solve_with_value ~objective:Lp_solver.Min_mlu inst in
+  ignore mlu_alloc;
+  let thr = Lp_solver.solve inst in
+  (* If max-throughput satisfies all demand, the MLU optimum can only
+     be lower or equal. *)
+  if Allocation.satisfied_ratio inst thr > 0.999 then
+    Alcotest.(check bool) "mlu optimum <= throughput solution mlu" true
+      (t <= Allocation.mlu inst thr +. 1e-6)
+
+let test_per_commodity_ratio () =
+  let inst = Helpers.iridium_instance () in
+  let lp = Lp_solver.solve inst in
+  let ratios = Allocation.per_commodity_ratio inst lp in
+  Alcotest.(check int) "one ratio per commodity" (Instance.num_commodities inst)
+    (Array.length ratios);
+  Array.iter
+    (fun r -> Alcotest.(check bool) "ratio in [0,1]" true (r >= -1e-9 && r <= 1.0 +. 1e-6))
+    ratios
+
+let test_node_caps_respected () =
+  (* Tight uplink caps must bind. *)
+  let inst = Helpers.iridium_instance () in
+  let tight =
+    { inst with
+      Instance.up_caps = Array.map (fun _ -> 1.0) inst.Instance.up_caps }
+  in
+  let lp = Lp_solver.solve tight in
+  let up, _ = Allocation.node_loads tight lp in
+  Array.iter
+    (fun l -> Alcotest.(check bool) "uplink cap respected" true (l <= 1.0 +. 1e-6))
+    up
+
+let test_restrict_to_valid () =
+  let inst = Helpers.iridium_instance () in
+  let lp = Lp_solver.solve inst in
+  (* Remove a carrying link; restricted allocation must drop flows on
+     paths using it. *)
+  let loads = Allocation.link_loads inst lp in
+  let victim = ref (-1) in
+  Array.iteri (fun li l -> if !victim < 0 && l > 0.0 then victim := li) loads;
+  if !victim >= 0 then begin
+    let l = inst.Instance.snapshot.Sate_topology.Snapshot.links.(!victim) in
+    let degraded =
+      Sate_topology.Snapshot.remove_links inst.Instance.snapshot
+        [ (l.Sate_topology.Link.u, l.Sate_topology.Link.v) ]
+    in
+    let restricted = Allocation.restrict_to_valid inst degraded lp in
+    Alcotest.(check bool) "flow dropped" true
+      (Allocation.total_flow restricted < Allocation.total_flow lp)
+  end
+
+let prop_trim_feasible =
+  QCheck.Test.make ~name:"trim is a feasibility projection" ~count:25
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let inst = Helpers.iridium_instance ~lambda:20.0 ~warmup:20.0 () in
+      let rng = Rng.create seed in
+      let alloc = Allocation.zeros inst in
+      Array.iter
+        (fun rates ->
+          Array.iteri (fun p _ -> rates.(p) <- Rng.uniform rng (-50.0) 300.0) rates)
+        alloc;
+      Allocation.is_feasible inst (Allocation.trim inst alloc))
+
+let suite =
+  [ Alcotest.test_case "instance construction" `Quick test_instance_construction;
+    Alcotest.test_case "zeros allocation" `Quick test_zeros_allocation;
+    Alcotest.test_case "scale to demand" `Quick test_scale_to_demand;
+    Alcotest.test_case "trim always feasible" `Quick test_trim_always_feasible;
+    Alcotest.test_case "trim keeps feasible" `Quick test_trim_keeps_feasible_allocation;
+    Alcotest.test_case "lp optimality" `Quick test_lp_optimality_vs_heuristics;
+    Alcotest.test_case "lp light load" `Quick test_lp_light_load_satisfies_all;
+    Alcotest.test_case "mlu routes all" `Quick test_mlu_routes_all_demand;
+    Alcotest.test_case "mlu vs throughput" `Quick test_mlu_below_throughput_mlu;
+    Alcotest.test_case "per-commodity ratio" `Quick test_per_commodity_ratio;
+    Alcotest.test_case "node caps respected" `Quick test_node_caps_respected;
+    Alcotest.test_case "restrict to valid" `Quick test_restrict_to_valid;
+    QCheck_alcotest.to_alcotest prop_trim_feasible ]

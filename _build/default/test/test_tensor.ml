@@ -1,0 +1,131 @@
+(* Tests for Sate_tensor. *)
+
+open Sate_tensor
+module Rng = Sate_util.Rng
+
+let t_of rows cols l = Tensor.of_array ~rows ~cols (Array.of_list l)
+
+let check_tensor msg expected actual =
+  Alcotest.(check bool)
+    msg true
+    (Tensor.same_shape expected actual
+    && Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9)
+         expected.Tensor.data actual.Tensor.data)
+
+let test_matmul () =
+  let a = t_of 2 3 [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ] in
+  let b = t_of 3 2 [ 7.0; 8.0; 9.0; 10.0; 11.0; 12.0 ] in
+  check_tensor "2x3 * 3x2" (t_of 2 2 [ 58.0; 64.0; 139.0; 154.0 ]) (Tensor.matmul a b)
+
+let test_matmul_identity () =
+  let i3 = Tensor.init 3 3 (fun r c -> if r = c then 1.0 else 0.0) in
+  let a = Tensor.init 3 3 (fun r c -> float_of_int ((r * 3) + c)) in
+  check_tensor "A * I = A" a (Tensor.matmul a i3)
+
+let test_matmul_mismatch () =
+  Alcotest.check_raises "inner mismatch"
+    (Invalid_argument "Tensor.matmul: inner dimension mismatch") (fun () ->
+      ignore (Tensor.matmul (Tensor.create 2 3) (Tensor.create 2 3)))
+
+let test_transpose () =
+  let a = t_of 2 3 [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ] in
+  check_tensor "transpose" (t_of 3 2 [ 1.0; 4.0; 2.0; 5.0; 3.0; 6.0 ]) (Tensor.transpose a)
+
+let test_elementwise () =
+  let a = t_of 1 3 [ 1.0; 2.0; 3.0 ] and b = t_of 1 3 [ 4.0; 5.0; 6.0 ] in
+  check_tensor "add" (t_of 1 3 [ 5.0; 7.0; 9.0 ]) (Tensor.add a b);
+  check_tensor "sub" (t_of 1 3 [ -3.0; -3.0; -3.0 ]) (Tensor.sub a b);
+  check_tensor "mul" (t_of 1 3 [ 4.0; 10.0; 18.0 ]) (Tensor.mul a b);
+  check_tensor "scale" (t_of 1 3 [ 2.0; 4.0; 6.0 ]) (Tensor.scale 2.0 a)
+
+let test_broadcast () =
+  let m = t_of 2 2 [ 1.0; 2.0; 3.0; 4.0 ] in
+  let v = t_of 1 2 [ 10.0; 20.0 ] in
+  check_tensor "add_rowvec" (t_of 2 2 [ 11.0; 22.0; 13.0; 24.0 ]) (Tensor.add_rowvec m v);
+  let cv = t_of 2 1 [ 2.0; 3.0 ] in
+  check_tensor "col_mul" (t_of 2 2 [ 2.0; 4.0; 9.0; 12.0 ]) (Tensor.col_mul m cv)
+
+let test_gather_scatter () =
+  let m = t_of 3 2 [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ] in
+  let g = Tensor.gather_rows m [| 2; 0; 2 |] in
+  check_tensor "gather" (t_of 3 2 [ 5.0; 6.0; 1.0; 2.0; 5.0; 6.0 ]) g;
+  let s = Tensor.scatter_add_rows g [| 0; 1; 0 |] ~rows:2 in
+  check_tensor "scatter accumulates" (t_of 2 2 [ 10.0; 12.0; 1.0; 2.0 ]) s
+
+let test_concat_split () =
+  let a = t_of 2 1 [ 1.0; 2.0 ] and b = t_of 2 2 [ 3.0; 4.0; 5.0; 6.0 ] in
+  let c = Tensor.concat_cols [ a; b ] in
+  check_tensor "concat" (t_of 2 3 [ 1.0; 3.0; 4.0; 2.0; 5.0; 6.0 ]) c;
+  match Tensor.split_cols c [ 1; 2 ] with
+  | [ a'; b' ] ->
+      check_tensor "split a" a a';
+      check_tensor "split b" b b'
+  | _ -> Alcotest.fail "expected two parts"
+
+let test_reductions () =
+  let a = t_of 2 3 [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ] in
+  Alcotest.(check (float 1e-9)) "sum" 21.0 (Tensor.sum a);
+  Alcotest.(check (float 1e-9)) "mean" 3.5 (Tensor.mean a);
+  check_tensor "row_sums" (t_of 2 1 [ 6.0; 15.0 ]) (Tensor.row_sums a);
+  Alcotest.(check (float 1e-9)) "frobenius" (sqrt 91.0) (Tensor.frobenius a)
+
+let test_segment_softmax () =
+  let scores = t_of 4 1 [ 1.0; 2.0; 5.0; 5.0 ] in
+  let seg = [| 0; 0; 1; 1 |] in
+  let y = Tensor.segment_softmax scores seg in
+  (* Per-segment sums are 1. *)
+  Alcotest.(check (float 1e-9)) "seg0 sums to 1" 1.0 (Tensor.get y 0 0 +. Tensor.get y 1 0);
+  Alcotest.(check (float 1e-9)) "seg1 sums to 1" 1.0 (Tensor.get y 2 0 +. Tensor.get y 3 0);
+  Alcotest.(check (float 1e-9)) "equal scores equal weight" 0.5 (Tensor.get y 2 0);
+  Alcotest.(check bool) "higher score wins" true (Tensor.get y 1 0 > Tensor.get y 0 0)
+
+let test_segment_softmax_stability () =
+  (* Large scores must not overflow. *)
+  let scores = t_of 2 1 [ 1000.0; 1001.0 ] in
+  let y = Tensor.segment_softmax scores [| 0; 0 |] in
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite y.Tensor.data)
+
+let test_xavier_bounds () =
+  let rng = Rng.create 1 in
+  let w = Tensor.xavier rng 100 50 in
+  let bound = sqrt (6.0 /. 150.0) in
+  Alcotest.(check bool) "within glorot bound" true
+    (Array.for_all (fun v -> Float.abs v <= bound) w.Tensor.data)
+
+let prop_concat_split_inverse =
+  QCheck.Test.make ~name:"split inverts concat" ~count:100
+    QCheck.(pair (int_range 1 5) (pair (int_range 1 4) (int_range 1 4)))
+    (fun (rows, (c1, c2)) ->
+      let a = Tensor.init rows c1 (fun i j -> float_of_int ((i * 10) + j)) in
+      let b = Tensor.init rows c2 (fun i j -> float_of_int ((i * 100) + j)) in
+      match Tensor.split_cols (Tensor.concat_cols [ a; b ]) [ c1; c2 ] with
+      | [ a'; b' ] -> a'.Tensor.data = a.Tensor.data && b'.Tensor.data = b.Tensor.data
+      | _ -> false)
+
+let prop_matmul_associative_with_vector =
+  QCheck.Test.make ~name:"(AB)v = A(Bv)" ~count:50
+    QCheck.(int_range 1 5)
+    (fun n ->
+      let rng = Rng.create n in
+      let a = Tensor.init n n (fun _ _ -> Rng.uniform rng (-1.0) 1.0) in
+      let b = Tensor.init n n (fun _ _ -> Rng.uniform rng (-1.0) 1.0) in
+      let v = Tensor.init n 1 (fun _ _ -> Rng.uniform rng (-1.0) 1.0) in
+      let lhs = Tensor.matmul (Tensor.matmul a b) v in
+      let rhs = Tensor.matmul a (Tensor.matmul b v) in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) lhs.Tensor.data rhs.Tensor.data)
+
+let suite =
+  [ Alcotest.test_case "matmul" `Quick test_matmul;
+    Alcotest.test_case "matmul identity" `Quick test_matmul_identity;
+    Alcotest.test_case "matmul mismatch" `Quick test_matmul_mismatch;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "elementwise" `Quick test_elementwise;
+    Alcotest.test_case "broadcast" `Quick test_broadcast;
+    Alcotest.test_case "gather/scatter" `Quick test_gather_scatter;
+    Alcotest.test_case "concat/split" `Quick test_concat_split;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "segment softmax" `Quick test_segment_softmax;
+    Alcotest.test_case "softmax stability" `Quick test_segment_softmax_stability;
+    Alcotest.test_case "xavier bounds" `Quick test_xavier_bounds;
+    QCheck_alcotest.to_alcotest prop_concat_split_inverse;
+    QCheck_alcotest.to_alcotest prop_matmul_associative_with_vector ]

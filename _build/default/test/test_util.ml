@@ -1,0 +1,209 @@
+(* Tests for Sate_util: RNG, statistics, heaps, priority queues. *)
+
+module Rng = Sate_util.Rng
+module Stats = Sate_util.Stats
+module Heap = Sate_util.Heap
+module Pqueue = Sate_util.Pqueue
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 50_000 (fun _ -> Rng.uniform rng 2.0 4.0) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (m -. 3.0) < 0.02)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 13 in
+  let xs = Array.init 50_000 (fun _ -> Rng.normal rng ~mean:5.0 ~std:2.0) in
+  Alcotest.(check bool) "mean" true (Float.abs (Stats.mean xs -. 5.0) < 0.05);
+  Alcotest.(check bool) "std" true (Float.abs (Stats.std xs -. 2.0) < 0.05)
+
+let test_rng_poisson_mean () =
+  let rng = Rng.create 17 in
+  let lambda = 6.5 in
+  let xs = Array.init 20_000 (fun _ -> float_of_int (Rng.poisson rng ~lambda)) in
+  Alcotest.(check bool) "mean near lambda" true
+    (Float.abs (Stats.mean xs -. lambda) < 0.1)
+
+let test_rng_poisson_large_lambda () =
+  let rng = Rng.create 19 in
+  let lambda = 120.0 in
+  let xs = Array.init 5_000 (fun _ -> float_of_int (Rng.poisson rng ~lambda)) in
+  Alcotest.(check bool) "normal approx mean" true
+    (Float.abs (Stats.mean xs -. lambda) < 2.0)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 23 in
+  let xs = Array.init 50_000 (fun _ -> Rng.exponential rng ~rate:0.5) in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (Stats.mean xs -. 2.0) < 0.05)
+
+let test_rng_split_independent () =
+  let a = Rng.create 31 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 37 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_sample_weighted () =
+  let rng = Rng.create 41 in
+  let w = [| 0.0; 1.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 20_000 do
+    let i = Rng.sample_weighted rng w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(0);
+  let ratio = float_of_int counts.(2) /. float_of_int counts.(1) in
+  Alcotest.(check bool) "3:1 ratio" true (Float.abs (ratio -. 3.0) < 0.3)
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" 1.25 (Stats.variance xs);
+  check_float "sum" 10.0 (Stats.sum xs);
+  let lo, hi = Stats.min_max xs in
+  check_float "min" 1.0 lo;
+  check_float "max" 4.0 hi
+
+let test_stats_percentile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "median" 3.0 (Stats.median xs);
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_cv () =
+  let xs = [| 2.0; 2.0; 2.0 |] in
+  check_float "cv of constant" 0.0 (Stats.coefficient_of_variation xs)
+
+let test_stats_histogram () =
+  let xs = [| 0.0; 0.5; 1.0; 1.5; 2.0 |] in
+  let h = Stats.histogram xs ~bins:2 in
+  Alcotest.(check int) "two bins" 2 (Array.length h);
+  let total = Array.fold_left (fun a (_, c) -> a + c) 0 h in
+  Alcotest.(check int) "all counted" 5 total
+
+let test_stats_cdf () =
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let pts = Stats.cdf_points xs 10 in
+  Alcotest.(check int) "10 points" 10 (List.length pts);
+  let _, last_frac = List.nth pts 9 in
+  check_float "last fraction" 1.0 last_frac
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p p) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.init 5 (fun _ -> fst (Heap.pop_exn h)) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] order;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Heap.push h 2.0 "b";
+  Heap.push h 1.0 "a";
+  (match Heap.peek h with
+  | Some (p, v) ->
+      check_float "peek prio" 1.0 p;
+      Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "length unchanged" 2 (Heap.length h)
+
+let test_pqueue_dijkstra_order () =
+  let q = Pqueue.create 10 in
+  Pqueue.insert q 0 5.0;
+  Pqueue.insert q 1 3.0;
+  Pqueue.insert q 2 4.0;
+  Pqueue.decrease q 0 1.0;
+  (match Pqueue.pop_min q with
+  | Some (k, p) ->
+      Alcotest.(check int) "decreased key first" 0 k;
+      check_float "prio" 1.0 p
+  | None -> Alcotest.fail "expected pop");
+  Pqueue.insert_or_decrease q 2 0.5;
+  (match Pqueue.pop_min q with
+  | Some (k, _) -> Alcotest.(check int) "key 2 next" 2 k
+  | None -> Alcotest.fail "expected pop")
+
+let test_pqueue_duplicate_insert () =
+  let q = Pqueue.create 4 in
+  Pqueue.insert q 1 1.0;
+  Alcotest.check_raises "duplicate" (Invalid_argument "Pqueue.insert: key already present")
+    (fun () -> Pqueue.insert q 1 2.0)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h x x) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare xs)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_exclusive 100.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Stats.percentile arr p in
+      let lo, hi = Stats.min_max arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng uniform mean" `Quick test_rng_uniform_mean;
+    Alcotest.test_case "rng normal moments" `Quick test_rng_normal_moments;
+    Alcotest.test_case "rng poisson mean" `Quick test_rng_poisson_mean;
+    Alcotest.test_case "rng poisson large" `Quick test_rng_poisson_large_lambda;
+    Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample weighted" `Quick test_sample_weighted;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats cv" `Quick test_stats_cv;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "stats cdf" `Quick test_stats_cdf;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap peek" `Quick test_heap_peek;
+    Alcotest.test_case "pqueue order" `Quick test_pqueue_dijkstra_order;
+    Alcotest.test_case "pqueue duplicate" `Quick test_pqueue_duplicate_insert;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds ]
