@@ -1,1 +1,1 @@
-bench/micro.ml: Analyze Bechamel Benchmark Hashtbl List Measure Printf Sate_baselines Sate_core Sate_gnn Sate_te Sate_tensor Sate_util Staged Test Time Toolkit
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl List Measure Printf Sate_baselines Sate_check Sate_core Sate_gnn Sate_te Sate_tensor Sate_util Staged Test Time Toolkit

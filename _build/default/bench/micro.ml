@@ -23,6 +23,10 @@ let tests () =
     [ Test.make ~name:"sate-inference" (Staged.stage (fun () -> Model.forward model graph));
       Test.make ~name:"sate-end-to-end" (Staged.stage (fun () -> Model.predict model inst));
       Test.make ~name:"lp-optimal" (Staged.stage (fun () -> Sate_te.Lp_solver.solve inst));
+      Test.make ~name:"lp-optimal-verified"
+        (Staged.stage (fun () -> Sate_te.Lp_solver.solve ~verify:true inst));
+      Test.make ~name:"grad-check-ops"
+        (Staged.stage (fun () -> Sate_check.Grad_check.all_ops ()));
       Test.make ~name:"ecmp-wf" (Staged.stage (fun () -> Sate_baselines.Ecmp_wf.solve inst));
       Test.make ~name:"satellite-routing"
         (Staged.stage (fun () -> Sate_baselines.Satellite_routing.solve inst));

@@ -1,0 +1,1 @@
+lib/check/grad_check.ml: Array Float List Printf Sate_gnn Sate_nn Sate_tensor Sate_util Tensor

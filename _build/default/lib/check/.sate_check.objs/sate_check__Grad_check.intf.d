@@ -1,0 +1,1 @@
+lib/check/grad_check.mli: Sate_nn Sate_tensor Tensor

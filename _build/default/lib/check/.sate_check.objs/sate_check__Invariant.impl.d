@@ -1,0 +1,1 @@
+lib/check/invariant.ml: List Sate_te String

@@ -1,0 +1,1 @@
+lib/check/invariant.mli: Sate_te

@@ -1,0 +1,1 @@
+lib/check/lp_check.ml: Sate_lp Sate_te

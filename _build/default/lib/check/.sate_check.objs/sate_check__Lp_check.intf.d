@@ -1,0 +1,1 @@
+lib/check/lp_check.mli: Sate_lp Sate_te

@@ -1,0 +1,148 @@
+open Sate_tensor
+module A = Sate_nn.Autodiff
+module Rng = Sate_util.Rng
+module Gat = Sate_gnn.Gat
+module Te_graph = Sate_gnn.Te_graph
+
+type result = {
+  name : string;
+  max_rel_err : float;
+  worst_index : int;
+  checked : int;
+  passed : bool;
+}
+
+let default_tol = 1e-4
+
+let result_to_string r =
+  Printf.sprintf "%s: %s (max rel err %.3g at %d over %d coords)" r.name
+    (if r.passed then "ok" else "FAIL")
+    r.max_rel_err r.worst_index r.checked
+
+let failures = List.filter (fun r -> not r.passed)
+
+let check_inplace ?(eps = 1e-5) ?(tol = default_tol) ~name ~param ~forward () =
+  let rows, cols = A.shape param in
+  (* Zero only the checked leaf: [forward] builds a fresh graph, so
+     stale gradients on other leaves never reach this one. *)
+  param.A.grad <- Tensor.create rows cols;
+  A.backward (forward ());
+  let analytic = Tensor.copy param.A.grad in
+  let data = param.A.value.Tensor.data in
+  let max_rel = ref 0.0 and worst = ref (-1) in
+  Array.iteri
+    (fun i orig ->
+      data.(i) <- orig +. eps;
+      let up = A.scalar_value (forward ()) in
+      data.(i) <- orig -. eps;
+      let down = A.scalar_value (forward ()) in
+      data.(i) <- orig;
+      let numeric = (up -. down) /. (2.0 *. eps) in
+      let a = analytic.Tensor.data.(i) in
+      let rel =
+        Float.abs (a -. numeric)
+        /. Float.max 1.0 (Float.max (Float.abs a) (Float.abs numeric))
+      in
+      if rel > !max_rel then begin
+        max_rel := rel;
+        worst := i
+      end)
+    (Array.copy data);
+  { name;
+    max_rel_err = !max_rel;
+    worst_index = !worst;
+    checked = Array.length data;
+    passed = !max_rel <= tol }
+
+let check ?eps ?tol ~name ~build x0 =
+  let leaf = A.leaf (Tensor.copy x0) in
+  check_inplace ?eps ?tol ~name ~param:leaf ~forward:(fun () -> build leaf) ()
+
+let rand rng rows cols =
+  Tensor.init rows cols (fun _ _ -> Rng.uniform rng (-1.0) 1.0)
+
+(* Magnitude in [0.2, 1.0) with random sign: keeps every coordinate at
+   least 0.05 away from the kinks used below (0 for relu/leaky_relu,
+   0.15 for clamp_max), where central differences are invalid. *)
+let rand_away rng rows cols =
+  Tensor.init rows cols (fun _ _ ->
+      let v = Rng.uniform rng 0.2 1.0 in
+      if Rng.bool rng then v else -.v)
+
+let all_ops ?(seed = 7) ?eps ?tol () =
+  let rng = Rng.create seed in
+  let w32 = rand rng 3 2 in
+  let w23 = rand rng 2 3 in
+  let m43 = rand rng 4 3 in
+  let v41 = rand rng 4 1 in
+  let v14 = rand rng 1 4 in
+  let v13 = rand rng 1 3 in
+  let c51 = rand rng 5 1 in
+  let sq x = A.sum (A.square x) in
+  let cases =
+    [ ("add", (fun x -> sq (A.add x (A.const w32))), rand rng 3 2);
+      ("sub", (fun x -> sq (A.sub x (A.const w32))), rand rng 3 2);
+      ("mul", (fun x -> sq (A.mul x (A.const w32))), rand rng 3 2);
+      ("scale", (fun x -> sq (A.scale 1.7 x)), rand rng 3 2);
+      ("matmul-left", (fun x -> sq (A.matmul x (A.const w23))), rand rng 3 2);
+      ("matmul-right", (fun x -> sq (A.matmul (A.const w32) x)), rand rng 2 3);
+      ("square", (fun x -> A.sum (A.square x)), rand rng 3 3);
+      ("leaky_relu", (fun x -> sq (A.leaky_relu x)), rand_away rng 3 3);
+      ("relu", (fun x -> sq (A.relu x)), rand_away rng 3 3);
+      ("sigmoid", (fun x -> sq (A.sigmoid x)), rand rng 2 3);
+      ("exp", (fun x -> sq (A.exp x)), rand rng 2 3);
+      ("clamp_max", (fun x -> sq (A.clamp_max 0.15 x)), rand_away rng 3 3);
+      ( "gather_rows",
+        (fun x -> sq (A.gather_rows x [| 0; 2; 0; 1 |])),
+        rand rng 3 2 );
+      ( "scatter_add_rows",
+        (fun x -> sq (A.scatter_add_rows x [| 1; 0; 1; 0 |] ~rows:2)),
+        rand rng 4 2 );
+      ( "concat_cols",
+        (fun x -> sq (A.concat_cols [ x; A.const w32 ])),
+        rand rng 3 2 );
+      ( "add_rowvec-matrix",
+        (fun x -> sq (A.add_rowvec x (A.const v14))),
+        rand rng 3 4 );
+      ( "add_rowvec-vector",
+        (fun v -> sq (A.add_rowvec (A.const m43) v)),
+        Tensor.copy v13 );
+      ( "col_mul-matrix",
+        (fun x -> sq (A.col_mul x (A.const v41))),
+        rand rng 4 3 );
+      ( "col_mul-vector",
+        (fun v -> sq (A.col_mul (A.const m43) v)),
+        Tensor.copy v41 );
+      ("row_sums", (fun x -> sq (A.row_sums x)), rand rng 3 4);
+      ("sum", (fun x -> A.square (A.sum x)), rand rng 3 3);
+      ("mean", (fun x -> A.mean (A.square x)), rand rng 3 3);
+      ( "segment_softmax",
+        (fun x ->
+          A.sum (A.mul (A.segment_softmax x [| 0; 0; 1; 1; 1 |]) (A.const c51))),
+        rand rng 5 1 );
+      ( "div_scalar-numerator",
+        (fun x -> sq (A.div_scalar x (A.scalar 2.5))),
+        rand rng 2 3 );
+      ( "div_scalar-denominator",
+        (fun s -> A.sum (A.square (A.div_scalar (A.const m43) s))),
+        Tensor.of_array ~rows:1 ~cols:1 [| 1.3 |] ) ]
+  in
+  List.map (fun (name, build, x0) -> check ?eps ?tol ~name ~build x0) cases
+
+let gat_layer ?(seed = 11) ?eps ?(tol = 1e-3) ?(attention = true) () =
+  let rng = Rng.create seed in
+  let dim = 4 and heads = 2 in
+  let gat = Gat.create ~attention rng ~dim ~heads in
+  let n_src = 5 and n_dst = 4 in
+  let src = [| 0; 1; 2; 3; 4; 1 |] and dst = [| 1; 0; 3; 2; 1; 3 |] in
+  let edges = { Te_graph.src; dst; feat = rand rng (Array.length src) 1 } in
+  let x_src = A.leaf (rand rng n_src dim) in
+  let x_dst = A.leaf (rand rng n_dst dim) in
+  let forward () = A.sum (A.square (Gat.forward gat ~x_src ~x_dst ~edges)) in
+  let targets =
+    ("gat:x_src", x_src) :: ("gat:x_dst", x_dst)
+    :: List.mapi (fun i p -> (Printf.sprintf "gat:param%d" i, p)) (Gat.params gat)
+  in
+  List.map
+    (fun (name, param) -> check_inplace ?eps ~tol ~name ~param ~forward ())
+    targets

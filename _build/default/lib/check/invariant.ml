@@ -1,0 +1,12 @@
+module Allocation = Sate_te.Allocation
+
+let check ?eps inst alloc = Allocation.violations ?eps inst alloc
+
+let summary = function
+  | [] -> "feasible"
+  | vs -> String.concat "; " (List.map Allocation.violation_to_string vs)
+
+let assert_feasible ?eps inst alloc =
+  match check ?eps inst alloc with
+  | [] -> ()
+  | vs -> failwith ("infeasible allocation: " ^ summary vs)

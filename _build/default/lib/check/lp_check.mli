@@ -1,0 +1,37 @@
+(** LP result certification for TE instances.
+
+    The raw certificate arithmetic lives in {!Sate_lp.Certificate}
+    (it must sit below [sate.te] so the solver can self-verify); this
+    module is the checking façade: certify arbitrary simplex outcomes
+    and run the TE LP solver in verified mode, returning the failure
+    as data instead of an exception. *)
+
+module Certificate = Sate_lp.Certificate
+
+val check_outcome :
+  ?eps:float ->
+  c:float array ->
+  constraints:Sate_lp.Simplex.constr list ->
+  Sate_lp.Simplex.outcome ->
+  Certificate.report option
+(** Alias of {!Sate_lp.Certificate.check}. *)
+
+val certified :
+  ?eps:float ->
+  ?maximize:bool ->
+  c:float array ->
+  constraints:Sate_lp.Simplex.constr list ->
+  unit ->
+  (Sate_lp.Simplex.outcome, string) result
+(** Solve with {!Sate_lp.Simplex.solve} and certify any [Optimal]
+    outcome in one step.  [Error] carries the human-readable
+    certificate failure; non-[Optimal] outcomes pass through as
+    [Ok]. *)
+
+val verify_instance :
+  ?objective:Sate_te.Lp_solver.objective ->
+  Sate_te.Instance.t ->
+  (float, string) result
+(** Run {!Sate_te.Lp_solver.solve_with_value} with [~verify:true] on
+    the instance; [Ok objective_value] when every certificate and
+    cross-check holds, [Error msg] otherwise. *)

@@ -1,1 +1,1 @@
-lib/core/online.ml: Array Float Hashtbl List Method Sate_paths Sate_te Scenario
+lib/core/online.ml: Array Float Hashtbl List Method Printf Sate_paths Sate_te Scenario

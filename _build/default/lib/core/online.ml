@@ -8,6 +8,7 @@ type report = {
   per_tick : (float * float) list;
   mean_latency_ms : float;
   recomputations : int;
+  debug_violations : int;
 }
 
 let carryover (old_inst : Instance.t) old_alloc (new_inst : Instance.t) =
@@ -40,11 +41,30 @@ let carryover (old_inst : Instance.t) old_alloc (new_inst : Instance.t) =
     alloc;
   Allocation.trim new_inst alloc
 
-let evaluate ?(tick_s = 1.0) ?latency_override_ms ~duration_s scenario m =
+let evaluate ?(tick_s = 1.0) ?latency_override_ms ?(debug = false) ~duration_s
+    scenario m =
   let latencies = ref [] in
   let recomputations = ref 0 in
+  let violation_count = ref 0 in
+  (* Debug mode: every allocation the harness reports on must satisfy
+     the feasibility invariants of its instance — carryover + trim are
+     supposed to guarantee that.  Violations are counted (and logged)
+     rather than fatal so a long run reports them all. *)
+  let audit inst alloc =
+    if debug then
+      match Allocation.violations inst alloc with
+      | [] -> ()
+      | vs ->
+          violation_count := !violation_count + List.length vs;
+          List.iter
+            (fun v ->
+              Printf.eprintf "[online debug] %s: %s\n%!" (Method.name m)
+                (Allocation.violation_to_string v))
+            vs
+  in
   let compute inst =
     let alloc, measured_ms = Method.solve_timed m inst in
+    audit inst alloc;
     let ms =
       match latency_override_ms with Some ms -> ms | None -> measured_ms
     in
@@ -75,6 +95,7 @@ let evaluate ?(tick_s = 1.0) ?latency_override_ms ~duration_s scenario m =
     | Some _ | None -> ());
     let old_inst, old_alloc = !active in
     let effective = carryover old_inst old_alloc inst in
+    audit inst effective;
     let satisfied = Allocation.satisfied_ratio inst effective in
     per_tick := (now, satisfied) :: !per_tick
   done;
@@ -89,4 +110,5 @@ let evaluate ?(tick_s = 1.0) ?latency_override_ms ~duration_s scenario m =
       (let l = !latencies in
        if l = [] then 0.0
        else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
-    recomputations = !recomputations }
+    recomputations = !recomputations;
+    debug_violations = !violation_count }

@@ -19,6 +19,11 @@ type report = {
   per_tick : (float * float) list;  (** (time_s, satisfied ratio). *)
   mean_latency_ms : float;  (** Mean measured computation latency. *)
   recomputations : int;  (** Completed TE rounds during the run. *)
+  debug_violations : int;
+      (** Feasibility violations observed in [~debug:true] mode
+          (always 0 otherwise).  A healthy method/harness pair reports
+          zero: every computed and carried-over allocation satisfies
+          {!Sate_te.Allocation.violations}. *)
 }
 
 val carryover :
@@ -33,6 +38,7 @@ val carryover :
 val evaluate :
   ?tick_s:float ->
   ?latency_override_ms:float ->
+  ?debug:bool ->
   duration_s:float ->
   Scenario.t ->
   Method.t ->
@@ -41,4 +47,10 @@ val evaluate :
     method recomputes as soon as its previous round lands (at least
     every tick); latency is measured wall-clock unless
     [latency_override_ms] pins it (useful to replay the paper's
-    Gurobi/POP/ECMP cadences of 47/25/54 s). *)
+    Gurobi/POP/ECMP cadences of 47/25/54 s).
+
+    [~debug:true] (default false) audits every allocation the harness
+    touches — each method result and each carried-over per-tick
+    allocation — against the feasibility invariants of its instance;
+    violations are printed to stderr and counted in
+    [debug_violations]. *)

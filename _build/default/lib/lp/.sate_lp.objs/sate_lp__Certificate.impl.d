@@ -1,0 +1,1 @@
+lib/lp/certificate.ml: Array Float List Printf Simplex String

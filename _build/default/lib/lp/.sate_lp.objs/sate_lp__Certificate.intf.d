@@ -1,0 +1,1 @@
+lib/lp/certificate.mli: Simplex

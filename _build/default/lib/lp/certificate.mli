@@ -1,0 +1,50 @@
+(** Independent verification of {!Simplex} results.
+
+    A simplex implementation can fail silently — a wrong pivot, a
+    tolerance interacting badly with Big-M scaling — and still return
+    [Optimal].  This module re-checks a returned solution against the
+    {e original} (un-normalised) problem data with arithmetic that
+    shares no code with the solver: every constraint is re-evaluated,
+    variable signs are checked, and the objective is recomputed from
+    scratch.  It is the certificate layer behind
+    [Sate_te.Lp_solver.solve ~verify:true] and the reusable core of
+    [Sate_check.Lp_check]. *)
+
+type violation =
+  | Constraint_violated of {
+      index : int;  (** Position in the constraint list. *)
+      lhs : float;  (** Recomputed [coeffs . x]. *)
+      sense : Simplex.sense;
+      rhs : float;
+      excess : float;  (** How far outside the feasible side. *)
+    }
+  | Negative_variable of { index : int; value : float }
+  | Objective_mismatch of { reported : float; recomputed : float }
+
+type report = {
+  violations : violation list;
+  recomputed_objective : float;
+  max_excess : float;  (** Worst constraint excess (0 when feasible). *)
+}
+
+val valid : report -> bool
+(** No violations. *)
+
+val violation_to_string : violation -> string
+
+val report_to_string : report -> string
+(** Human-readable summary ("certificate ok" or one line per
+    violation). *)
+
+val check :
+  ?eps:float ->
+  c:float array ->
+  constraints:Simplex.constr list ->
+  Simplex.outcome ->
+  report option
+(** [check ~c ~constraints outcome] verifies an [Optimal] outcome:
+    primal feasibility of the solution against every original
+    constraint, non-negativity of every variable, and agreement of the
+    reported objective with [c . x].  Tolerances are relative to each
+    constraint's own scale ([eps], default [1e-6]).  Returns [None]
+    for non-[Optimal] outcomes — there is nothing to certify. *)

@@ -183,6 +183,10 @@ let mean a =
   scale (1.0 /. Float.max 1.0 n) (sum a)
 
 let segment_softmax scores seg =
+  Array.iter
+    (fun s ->
+      if s < 0 then invalid_arg "Autodiff.segment_softmax: negative segment id")
+    seg;
   let y = Tensor.segment_softmax scores.value seg in
   let out = node y [ scores ] in
   out.back <-

@@ -1,1 +1,1 @@
-lib/te/allocation.ml: Array Float Instance Sate_paths Sate_topology
+lib/te/allocation.ml: Array Float Instance List Printf Sate_paths Sate_topology

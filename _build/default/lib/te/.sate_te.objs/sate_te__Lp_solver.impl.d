@@ -1,1 +1,1 @@
-lib/te/lp_solver.ml: Allocation Array Float Fun Hashtbl Instance List Option Sate_lp Sate_topology
+lib/te/lp_solver.ml: Allocation Array Float Fun Hashtbl Instance List Option Printf Sate_lp Sate_topology

@@ -44,35 +44,70 @@ let node_loads (inst : Instance.t) alloc =
     alloc;
   (up, down)
 
-let is_feasible ?(eps = 1e-6) (inst : Instance.t) alloc =
-  let ok = ref true in
+type violation =
+  | Negative_rate of { commodity : int; path : int; rate : float }
+  | Demand_exceeded of { commodity : int; total : float; demand : float }
+  | Link_overload of { link : int; load : float; capacity : float }
+  | Uplink_overload of { node : int; load : float; capacity : float }
+  | Downlink_overload of { node : int; load : float; capacity : float }
+
+let violation_to_string = function
+  | Negative_rate { commodity; path; rate } ->
+      Printf.sprintf "commodity %d path %d: negative rate %.6g" commodity path
+        rate
+  | Demand_exceeded { commodity; total; demand } ->
+      Printf.sprintf "commodity %d: allocated %.6g exceeds demand %.6g"
+        commodity total demand
+  | Link_overload { link; load; capacity } ->
+      Printf.sprintf "link %d: load %.6g exceeds capacity %.6g" link load
+        capacity
+  | Uplink_overload { node; load; capacity } ->
+      Printf.sprintf "node %d: uplink load %.6g exceeds capacity %.6g" node
+        load capacity
+  | Downlink_overload { node; load; capacity } ->
+      Printf.sprintf "node %d: downlink load %.6g exceeds capacity %.6g" node
+        load capacity
+
+let violations ?(eps = 1e-6) (inst : Instance.t) alloc =
+  let out = ref [] in
+  let push v = out := v :: !out in
   Array.iteri
     (fun f rates ->
       let c = inst.Instance.commodities.(f) in
       let total = ref 0.0 in
-      Array.iter
-        (fun r ->
-          if r < -.eps then ok := false;
+      Array.iteri
+        (fun p r ->
+          if r < -.eps then push (Negative_rate { commodity = f; path = p; rate = r });
           total := !total +. r)
         rates;
-      if !total > c.Instance.demand_mbps +. eps then ok := false)
+      if !total > c.Instance.demand_mbps +. eps then
+        push
+          (Demand_exceeded
+             { commodity = f; total = !total; demand = c.Instance.demand_mbps }))
     alloc;
-  if !ok then begin
-    let loads = link_loads inst alloc in
-    Array.iteri
-      (fun li load ->
-        let cap = inst.Instance.snapshot.Snapshot.links.(li).Link.capacity_mbps in
-        if load > cap +. eps then ok := false)
-      loads;
-    let up, down = node_loads inst alloc in
-    Array.iteri
-      (fun n l -> if l > inst.Instance.up_caps.(n) +. eps then ok := false)
-      up;
-    Array.iteri
-      (fun n l -> if l > inst.Instance.down_caps.(n) +. eps then ok := false)
-      down
-  end;
-  !ok
+  let loads = link_loads inst alloc in
+  Array.iteri
+    (fun li load ->
+      let cap = inst.Instance.snapshot.Snapshot.links.(li).Link.capacity_mbps in
+      if load > cap +. eps then
+        push (Link_overload { link = li; load; capacity = cap }))
+    loads;
+  let up, down = node_loads inst alloc in
+  Array.iteri
+    (fun n l ->
+      if l > inst.Instance.up_caps.(n) +. eps then
+        push (Uplink_overload { node = n; load = l; capacity = inst.Instance.up_caps.(n) }))
+    up;
+  Array.iteri
+    (fun n l ->
+      if l > inst.Instance.down_caps.(n) +. eps then
+        push
+          (Downlink_overload
+             { node = n; load = l; capacity = inst.Instance.down_caps.(n) }))
+    down;
+  List.rev !out
+
+let is_feasible ?eps (inst : Instance.t) alloc = violations ?eps inst alloc = []
 
 (* Proportional smoothing: scale every path flow by the worst
    overload factor among the resources it touches.  Keeps relative

@@ -24,8 +24,34 @@ val node_loads : Instance.t -> t -> float array * float array
 (** [(uplink, downlink)] load per node: total rate sourced at /
     destined to the node (constraints 2.c, 2.d). *)
 
+(** {1 Feasibility invariants}
+
+    Every invariant of (2.b)-(2.f) can be checked individually;
+    {!violations} reports exactly which resource is violated and by
+    how much, {!is_feasible} is its silent boolean form. *)
+
+type violation =
+  | Negative_rate of { commodity : int; path : int; rate : float }
+      (** (2.f) a path rate is below zero. *)
+  | Demand_exceeded of { commodity : int; total : float; demand : float }
+      (** (2.e) a commodity carries more than its demand. *)
+  | Link_overload of { link : int; load : float; capacity : float }
+      (** (2.b) a link carries more than its capacity. *)
+  | Uplink_overload of { node : int; load : float; capacity : float }
+      (** (2.c) a node sources more than its uplink capacity. *)
+  | Downlink_overload of { node : int; load : float; capacity : float }
+      (** (2.d) a node sinks more than its downlink capacity. *)
+
+val violation_to_string : violation -> string
+
+val violations : ?eps:float -> Instance.t -> t -> violation list
+(** Every invariant violation beyond tolerance, in deterministic order
+    (commodity checks first, then links, then node up/down). Empty
+    iff the allocation is feasible. *)
+
 val is_feasible : ?eps:float -> Instance.t -> t -> bool
-(** All of (2.b)-(2.f) hold within tolerance. *)
+(** All of (2.b)-(2.f) hold within tolerance ([violations] is
+    empty). *)
 
 val trim : Instance.t -> t -> t
 (** Correction for constraint violation (§3.3): proportional scaling

@@ -12,7 +12,7 @@ let init rows cols f =
 let of_array ~rows ~cols data =
   if Array.length data <> rows * cols then
     invalid_arg "Tensor.of_array: length mismatch";
-  { rows; cols; data }
+  { rows; cols; data = Array.copy data }
 
 let of_column v = { rows = Array.length v; cols = 1; data = Array.copy v }
 
@@ -151,6 +151,10 @@ let segment_softmax scores seg =
   let m = scores.rows in
   let out = create m 1 in
   if m > 0 then begin
+    Array.iter
+      (fun s ->
+        if s < 0 then invalid_arg "Tensor.segment_softmax: negative segment id")
+      seg;
     let max_seg = Array.fold_left max 0 seg in
     let seg_max = Array.make (max_seg + 1) Float.neg_infinity in
     for i = 0 to m - 1 do

@@ -17,7 +17,9 @@ val full : int -> int -> float -> t
 val init : int -> int -> (int -> int -> float) -> t
 
 val of_array : rows:int -> cols:int -> float array -> t
-(** Wrap (not copy) a row-major array; length must match. *)
+(** Copy a row-major array into a fresh tensor; length must match.
+    The source array is not aliased, so mutating it afterwards cannot
+    corrupt the tensor (consistent with {!of_column}). *)
 
 val of_column : float array -> t
 (** [n x 1] tensor copying the given values. *)
@@ -82,7 +84,8 @@ val segment_softmax : t -> int array -> t
 (** [segment_softmax scores seg] where [scores] is [m x 1]: softmax
     normalisation within groups of equal [seg.(i)] (numerically
     stabilised).  Used for attention over each node's incoming
-    edges. *)
+    edges.  Raises [Invalid_argument] on a negative segment id or a
+    length mismatch. *)
 
 val xavier : Sate_util.Rng.t -> int -> int -> t
 (** Glorot-uniform initialisation for a [fan_in x fan_out] weight. *)

@@ -21,10 +21,17 @@ let split t =
   { state = seed }
 
 let int t n =
-  assert (n > 0);
-  (* Keep 62 bits so the value fits a non-negative OCaml int. *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod n
+  if n <= 0 then invalid_arg "Rng.int: n must be positive";
+  (* Keep 62 bits so the value fits a non-negative OCaml int.
+     Rejection sampling removes the modulo bias of [v mod n] when n
+     does not divide 2^62: draws landing in the final partial bucket
+     are redrawn (probability < n / 2^62). *)
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let r = v mod n in
+    if v - r > max_int - (n - 1) then draw () else r
+  in
+  draw ()
 
 let float01 t =
   (* 53 high bits scaled to [0,1). *)

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Array Float Helpers List Sate_check Sate_core Sate_lp Sate_nn Sate_te Sate_tensor String Tensor

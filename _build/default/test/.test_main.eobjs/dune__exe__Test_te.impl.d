@@ -1,1 +1,1 @@
-test/test_te.ml: Alcotest Array Float Helpers QCheck QCheck_alcotest Sate_baselines Sate_te Sate_topology Sate_util
+test/test_te.ml: Alcotest Array Float Helpers List QCheck QCheck_alcotest Sate_baselines Sate_te Sate_topology Sate_util

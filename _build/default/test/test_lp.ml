@@ -1,10 +1,22 @@
 (* Tests for Sate_lp.Simplex. *)
 
 open Sate_lp.Simplex
+module Certificate = Sate_lp.Certificate
 
-let solve_opt ?maximize ~c ~constraints () =
-  match solve ?maximize ~c ~constraints () with
-  | Optimal { objective; solution } -> (objective, solution)
+(* Every Optimal outcome in this file round-trips through the
+   independent certificate checker. *)
+let certify ~c ~constraints outcome =
+  match Certificate.check ~c ~constraints outcome with
+  | None -> Alcotest.fail "certificate: expected a report for Optimal"
+  | Some report ->
+      if not (Certificate.valid report) then
+        Alcotest.fail (Certificate.report_to_string report)
+
+let solve_opt ?maximize ?max_iters ~c ~constraints () =
+  match solve ?maximize ?max_iters ~c ~constraints () with
+  | Optimal { objective; solution } as outcome ->
+      certify ~c ~constraints outcome;
+      (objective, solution)
   | Infeasible -> Alcotest.fail "unexpected infeasible"
   | Unbounded -> Alcotest.fail "unexpected unbounded"
   | Iteration_limit -> Alcotest.fail "unexpected iteration limit"
@@ -77,6 +89,36 @@ let test_degenerate () =
   in
   Alcotest.(check (float 1e-6)) "objective" 2.0 obj
 
+let test_degenerate_bland_fallback () =
+  (* Duplicated rows make the basis degenerate; the tiny iteration
+     budget drives the solver past [bland_after = max_iters / 2], so
+     the final pivots run under Bland's rule and must still reach the
+     optimum x = 2, z = 2. *)
+  let obj, sol =
+    solve_opt ~max_iters:8 ~c:[| 2.0; 3.0; 1.5 |]
+      ~constraints:
+        [ { coeffs = [| 1.0; 1.0; 0.0 |]; sense = Le; rhs = 2.0 };
+          { coeffs = [| 1.0; 1.0; 0.0 |]; sense = Le; rhs = 2.0 };
+          { coeffs = [| 0.0; 1.0; 1.0 |]; sense = Le; rhs = 2.0 } ]
+      ()
+  in
+  Alcotest.(check (float 1e-6)) "objective" 7.0 obj;
+  Alcotest.(check (float 1e-6)) "x" 2.0 sol.(0);
+  Alcotest.(check (float 1e-6)) "z" 2.0 sol.(2)
+
+let test_eq_only_infeasible () =
+  (* Contradictory equalities: Big-M leaves an artificial variable
+     basic at a nonzero level. *)
+  match
+    solve ~c:[| 1.0; 1.0 |]
+      ~constraints:
+        [ { coeffs = [| 1.0; 1.0 |]; sense = Eq; rhs = 1.0 };
+          { coeffs = [| 1.0; 1.0 |]; sense = Eq; rhs = 2.0 } ]
+      ()
+  with
+  | Infeasible -> ()
+  | Optimal _ | Unbounded | Iteration_limit -> Alcotest.fail "expected infeasible"
+
 let test_zero_objective () =
   let obj, _ =
     solve_opt ~c:[| 0.0; 0.0 |]
@@ -113,7 +155,12 @@ let prop_solution_feasible =
           (Array.mapi (fun i coeffs -> { coeffs; sense = Le; rhs = rhs.(i) }) rows)
       in
       match solve ~c ~constraints () with
-      | Optimal { solution; objective } ->
+      | Optimal { solution; objective } as outcome ->
+          let certified =
+            match Certificate.check ~c ~constraints outcome with
+            | Some report -> Certificate.valid report
+            | None -> false
+          in
           let ok_constraints =
             Array.for_all2
               (fun coeffs b ->
@@ -124,7 +171,7 @@ let prop_solution_feasible =
           in
           let nonneg = Array.for_all (fun x -> x >= -1e-9) solution in
           (* rhs > 0 so x = 0 is feasible: optimum must be >= 0. *)
-          ok_constraints && nonneg && objective >= -1e-6
+          certified && ok_constraints && nonneg && objective >= -1e-6
       | Unbounded -> true (* possible with negative row coefficients *)
       | Infeasible -> false (* impossible: origin is feasible *)
       | Iteration_limit -> false)
@@ -136,6 +183,8 @@ let suite =
     Alcotest.test_case "unbounded" `Quick test_unbounded;
     Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalisation;
     Alcotest.test_case "degenerate" `Quick test_degenerate;
+    Alcotest.test_case "degenerate bland fallback" `Quick test_degenerate_bland_fallback;
+    Alcotest.test_case "eq-only infeasible" `Quick test_eq_only_infeasible;
     Alcotest.test_case "zero objective" `Quick test_zero_objective;
     Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
     QCheck_alcotest.to_alcotest prop_solution_feasible ]

@@ -14,5 +14,6 @@ let () =
       ("pruning", Test_pruning.suite);
       ("baselines", Test_baselines.suite);
       ("core", Test_core.suite);
+      ("check", Test_check.suite);
       ("integration", Test_integration.suite);
       ("extensions", Test_extensions.suite) ]

@@ -77,6 +77,32 @@ let test_dijkstra_km_weight () =
       Alcotest.(check bool) "delay positive" true (Path.delay_ms s p > 0.0)
   | None -> Alcotest.fail "unreachable"
 
+(* Weighted diamond whose cheap edges are discovered late: node 1 is
+   queued at 10 then improved to 5 via node 2, and node 3 is queued at
+   102 then improved to 7 — both keys decrease after the node already
+   sits in the frontier, so a lazy-deletion heap would pop stale
+   entries here and only a staleness guard keeps expansion correct. *)
+let diamond_snapshot () =
+  let pos =
+    Array.init 4 (fun i -> { Sate_geo.Geo.x = float_of_int i; y = 0.0; z = 0.0 })
+  in
+  let link u v length_km =
+    { Link.u; v; kind = Link.Intra_orbit; capacity_mbps = 100.0; length_km }
+  in
+  Snapshot.make ~time_s:0.0 ~num_sats:4 ~sat_positions:pos ~relay_positions:[||]
+    ~links:
+      [ link 0 1 10.0; link 0 2 2.0; link 1 2 3.0; link 1 3 2.0; link 2 3 100.0 ]
+
+let test_dijkstra_decrease_after_insert () =
+  let s = diamond_snapshot () in
+  let d = Dijkstra.distances ~weight:Dijkstra.Km s ~src:0 in
+  Alcotest.(check (array (float 1e-9))) "km distances" [| 0.0; 5.0; 2.0; 7.0 |] d;
+  match Dijkstra.shortest ~weight:Dijkstra.Km s ~src:0 ~dst:3 with
+  | Some p ->
+      Alcotest.(check (list int)) "takes the detour" [ 0; 2; 1; 3 ] (Path.to_list p);
+      Alcotest.(check (float 1e-9)) "length" 7.0 (Path.length_km s p)
+  | None -> Alcotest.fail "reachable"
+
 let test_yen_properties () =
   let s = iridium_snapshot () in
   let k = 5 in
@@ -263,6 +289,8 @@ let suite =
     Alcotest.test_case "dijkstra optimal" `Quick test_dijkstra_hops_optimal;
     Alcotest.test_case "dijkstra banned" `Quick test_dijkstra_banned;
     Alcotest.test_case "dijkstra km" `Quick test_dijkstra_km_weight;
+    Alcotest.test_case "dijkstra decrease-after-insert" `Quick
+      test_dijkstra_decrease_after_insert;
     Alcotest.test_case "yen properties" `Quick test_yen_properties;
     Alcotest.test_case "yen first shortest" `Quick test_yen_first_is_shortest;
     Alcotest.test_case "grid intra candidates" `Quick test_grid_intra_candidates;

@@ -148,6 +148,59 @@ let test_restrict_to_valid () =
       (Allocation.total_flow restricted < Allocation.total_flow lp)
   end
 
+let test_verify_mode_all_objectives () =
+  (* ~verify:true certifies every simplex outcome and re-audits the
+     trimmed allocation; any discrepancy raises Verification_failed. *)
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun objective ->
+          let alloc, value =
+            Lp_solver.solve_with_value ~objective ~verify:true inst
+          in
+          let alloc', value' = Lp_solver.solve_with_value ~objective inst in
+          Alcotest.(check (float 1e-9)) "same value as unverified" value' value;
+          Alcotest.(check bool) "same allocation as unverified" true (alloc = alloc'))
+        [ Lp_solver.Max_throughput; Lp_solver.Min_mlu; Lp_solver.Max_log_utility ])
+    [ Helpers.iridium_instance (); Helpers.congested_instance () ]
+
+let test_violations_empty_on_lp () =
+  let inst = Helpers.congested_instance () in
+  let lp = Lp_solver.solve inst in
+  Alcotest.(check (list string)) "no violations"
+    []
+    (List.map Allocation.violation_to_string (Allocation.violations inst lp))
+
+let test_violations_structured () =
+  let inst = Helpers.iridium_instance () in
+  let lp = Lp_solver.solve inst in
+  (* Corrupt one rate: negative flow. *)
+  let neg = Array.map Array.copy lp in
+  neg.(0).(0) <- -1.0;
+  let vs = Allocation.violations inst neg in
+  Alcotest.(check bool) "negative rate reported" true
+    (List.exists
+       (function
+         | Allocation.Negative_rate { commodity = 0; path = 0; rate } ->
+             Float.abs (rate +. 1.0) < 1e-9
+         | _ -> false)
+       vs);
+  (* Corrupt one rate: far above demand, overloading its links. *)
+  let big = Array.map Array.copy lp in
+  big.(0).(0) <- 1e7;
+  let vs = Allocation.violations inst big in
+  Alcotest.(check bool) "demand exceeded reported" true
+    (List.exists
+       (function
+         | Allocation.Demand_exceeded { commodity = 0; _ } -> true
+         | _ -> false)
+       vs);
+  Alcotest.(check bool) "link overload reported" true
+    (List.exists
+       (function Allocation.Link_overload _ -> true | _ -> false)
+       vs);
+  Alcotest.(check bool) "is_feasible agrees" false (Allocation.is_feasible inst big)
+
 let prop_trim_feasible =
   QCheck.Test.make ~name:"trim is a feasibility projection" ~count:25
     QCheck.(int_bound 1000)
@@ -174,4 +227,7 @@ let suite =
     Alcotest.test_case "per-commodity ratio" `Quick test_per_commodity_ratio;
     Alcotest.test_case "node caps respected" `Quick test_node_caps_respected;
     Alcotest.test_case "restrict to valid" `Quick test_restrict_to_valid;
+    Alcotest.test_case "verify mode all objectives" `Quick test_verify_mode_all_objectives;
+    Alcotest.test_case "violations empty on lp" `Quick test_violations_empty_on_lp;
+    Alcotest.test_case "violations structured" `Quick test_violations_structured;
     QCheck_alcotest.to_alcotest prop_trim_feasible ]

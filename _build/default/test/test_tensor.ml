@@ -85,6 +85,23 @@ let test_segment_softmax_stability () =
   let y = Tensor.segment_softmax scores [| 0; 0 |] in
   Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite y.Tensor.data)
 
+let test_of_array_copies () =
+  (* Regression: of_array used to alias the caller's array, so later
+     mutation of the source silently corrupted the tensor. *)
+  let src = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let t = Tensor.of_array ~rows:2 ~cols:2 src in
+  src.(0) <- 99.0;
+  Alcotest.(check (float 0.0)) "tensor unaffected by source mutation" 1.0
+    (Tensor.get t 0 0);
+  t.Tensor.data.(1) <- -7.0;
+  Alcotest.(check (float 0.0)) "source unaffected by tensor mutation" 2.0 src.(1)
+
+let test_segment_softmax_negative_id () =
+  let scores = t_of 3 1 [ 1.0; 2.0; 3.0 ] in
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Tensor.segment_softmax: negative segment id") (fun () ->
+      ignore (Tensor.segment_softmax scores [| 0; -1; 1 |]))
+
 let test_xavier_bounds () =
   let rng = Rng.create 1 in
   let w = Tensor.xavier rng 100 50 in
@@ -126,6 +143,8 @@ let suite =
     Alcotest.test_case "reductions" `Quick test_reductions;
     Alcotest.test_case "segment softmax" `Quick test_segment_softmax;
     Alcotest.test_case "softmax stability" `Quick test_segment_softmax_stability;
+    Alcotest.test_case "of_array copies" `Quick test_of_array_copies;
+    Alcotest.test_case "softmax negative id" `Quick test_segment_softmax_negative_id;
     Alcotest.test_case "xavier bounds" `Quick test_xavier_bounds;
     QCheck_alcotest.to_alcotest prop_concat_split_inverse;
     QCheck_alcotest.to_alcotest prop_matmul_associative_with_vector ]

@@ -24,6 +24,27 @@ let test_rng_int_range () =
     Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
   done
 
+let test_rng_int_invalid () =
+  let rng = Rng.create 7 in
+  let exn = Invalid_argument "Rng.int: n must be positive" in
+  Alcotest.check_raises "zero" exn (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "negative" exn (fun () -> ignore (Rng.int rng (-3)))
+
+(* With n = 3 * 2^60, plain [bits mod n] maps the top quarter of the
+   62-bit draw range back onto [0, 2^60), so values below 2^60 would
+   appear with probability 1/2 instead of 1/3.  Rejection sampling must
+   bring the fraction back to 1/3. *)
+let test_rng_int_unbiased_large_n () =
+  let rng = Rng.create 43 in
+  let n = 3 * (1 lsl 60) in
+  let trials = 4_000 in
+  let low = ref 0 in
+  for _ = 1 to trials do
+    if Rng.int rng n < 1 lsl 60 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int trials in
+  Alcotest.(check bool) "no modulo bias" true (Float.abs (frac -. (1.0 /. 3.0)) < 0.04)
+
 let test_rng_float_range () =
   let rng = Rng.create 9 in
   for _ = 1 to 10_000 do
@@ -187,6 +208,8 @@ let suite =
   [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
     Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng int invalid" `Quick test_rng_int_invalid;
+    Alcotest.test_case "rng int unbiased" `Quick test_rng_int_unbiased_large_n;
     Alcotest.test_case "rng float range" `Quick test_rng_float_range;
     Alcotest.test_case "rng uniform mean" `Quick test_rng_uniform_mean;
     Alcotest.test_case "rng normal moments" `Quick test_rng_normal_moments;

@@ -1,0 +1,20 @@
+(** Allocation feasibility auditing.
+
+    A thin façade over {!Sate_te.Allocation.violations} that turns the
+    structured report into something a harness or test can act on:
+    formatted summaries and a fail-fast assertion. *)
+
+val check :
+  ?eps:float ->
+  Sate_te.Instance.t ->
+  Sate_te.Allocation.t ->
+  Sate_te.Allocation.violation list
+(** Alias of {!Sate_te.Allocation.violations}. *)
+
+val summary : Sate_te.Allocation.violation list -> string
+(** ["feasible"] or a semicolon-joined list of violation messages. *)
+
+val assert_feasible :
+  ?eps:float -> Sate_te.Instance.t -> Sate_te.Allocation.t -> unit
+(** Raises [Failure] with the formatted violation list if the
+    allocation breaks any invariant. *)

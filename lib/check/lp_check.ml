@@ -1,0 +1,19 @@
+module Simplex = Sate_lp.Simplex
+module Certificate = Sate_lp.Certificate
+module Lp_solver = Sate_te.Lp_solver
+
+let check_outcome ?eps ~c ~constraints outcome =
+  Certificate.check ?eps ~c ~constraints outcome
+
+let certified ?eps ?maximize ~c ~constraints () =
+  let outcome = Simplex.solve ?maximize ~c ~constraints () in
+  match Certificate.check ?eps ~c ~constraints outcome with
+  | None -> Ok outcome
+  | Some report ->
+      if Certificate.valid report then Ok outcome
+      else Error (Certificate.report_to_string report)
+
+let verify_instance ?objective inst =
+  match Lp_solver.solve_with_value ?objective ~verify:true inst with
+  | _, value -> Ok value
+  | exception Lp_solver.Verification_failed msg -> Error msg

@@ -1,0 +1,93 @@
+type violation =
+  | Constraint_violated of {
+      index : int;
+      lhs : float;
+      sense : Simplex.sense;
+      rhs : float;
+      excess : float;
+    }
+  | Negative_variable of { index : int; value : float }
+  | Objective_mismatch of { reported : float; recomputed : float }
+
+type report = {
+  violations : violation list;
+  recomputed_objective : float;
+  max_excess : float;
+}
+
+let valid r = r.violations = []
+
+let sense_to_string = function
+  | Simplex.Le -> "<="
+  | Simplex.Ge -> ">="
+  | Simplex.Eq -> "="
+
+let violation_to_string = function
+  | Constraint_violated { index; lhs; sense; rhs; excess } ->
+      Printf.sprintf "constraint %d: %.9g %s %.9g violated by %.3g" index lhs
+        (sense_to_string sense) rhs excess
+  | Negative_variable { index; value } ->
+      Printf.sprintf "variable %d negative: %.9g" index value
+  | Objective_mismatch { reported; recomputed } ->
+      Printf.sprintf "objective mismatch: reported %.9g, recomputed %.9g"
+        reported recomputed
+
+let report_to_string r =
+  if valid r then
+    Printf.sprintf "certificate ok (objective %.9g)" r.recomputed_objective
+  else
+    String.concat "; " (List.map violation_to_string r.violations)
+
+(* Kahan-free dot product is fine here: constraint rows are short and
+   the tolerance is relative to the row's own magnitude. *)
+let dot coeffs x =
+  let s = ref 0.0 in
+  Array.iteri (fun j a -> s := !s +. (a *. x.(j))) coeffs;
+  !s
+
+let check ?(eps = 1e-6) ~c ~constraints outcome =
+  match outcome with
+  | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit -> None
+  | Simplex.Optimal { objective; solution } ->
+      if Array.length solution <> Array.length c then
+        invalid_arg "Certificate.check: solution length mismatch";
+      let violations = ref [] in
+      let max_excess = ref 0.0 in
+      Array.iteri
+        (fun j v ->
+          if v < -.eps then
+            violations := Negative_variable { index = j; value = v } :: !violations)
+        solution;
+      List.iteri
+        (fun i { Simplex.coeffs; sense; rhs } ->
+          let lhs = dot coeffs solution in
+          let scale =
+            Array.fold_left
+              (fun acc a -> Float.max acc (Float.abs a))
+              (Float.max 1.0 (Float.abs rhs))
+              coeffs
+          in
+          let excess =
+            match sense with
+            | Simplex.Le -> lhs -. rhs
+            | Simplex.Ge -> rhs -. lhs
+            | Simplex.Eq -> Float.abs (lhs -. rhs)
+          in
+          if excess > eps *. scale then begin
+            max_excess := Float.max !max_excess excess;
+            violations :=
+              Constraint_violated { index = i; lhs; sense; rhs; excess }
+              :: !violations
+          end)
+        constraints;
+      let recomputed = dot c solution in
+      if
+        Float.abs (recomputed -. objective)
+        > eps *. Float.max 1.0 (Float.abs recomputed)
+      then
+        violations :=
+          Objective_mismatch { reported = objective; recomputed } :: !violations;
+      Some
+        { violations = List.rev !violations;
+          recomputed_objective = recomputed;
+          max_excess = !max_excess }

@@ -64,7 +64,8 @@ val mean : t -> t
 (** {1 Attention} *)
 
 val segment_softmax : t -> int array -> t
-(** Softmax over groups of equal segment id ([m x 1] scores). *)
+(** Softmax over groups of equal segment id ([m x 1] scores).
+    Raises [Invalid_argument] on a negative segment id. *)
 
 (** {1 Scalar helpers} *)
 

@@ -24,7 +24,12 @@ let shortest ?(weight = Hops) ?(banned_nodes = fun _ -> false)
       match Pqueue.pop_min q with
       | None -> finished := true
       | Some (u, du) ->
-          if u = dst then finished := true
+          (* Staleness guard: skip entries superseded by a shorter
+             settled distance (cannot happen with the indexed
+             decrease-key queue and non-negative weights, but keeps
+             the search correct under any queue or weight regime). *)
+          if du > dist.(u) then ()
+          else if u = dst then finished := true
           else
             List.iter
               (fun (v, li) ->
@@ -60,15 +65,16 @@ let distances ?(weight = Hops) snap ~src =
     match Pqueue.pop_min q with
     | None -> continue := false
     | Some (u, du) ->
-        List.iter
-          (fun (v, li) ->
-            let l = snap.Snapshot.links.(li) in
-            let alt = du +. link_cost weight l in
-            if alt < dist.(v) then begin
-              dist.(v) <- alt;
-              Pqueue.insert_or_decrease q v alt
-            end)
-          (Snapshot.neighbors snap u)
+        if du <= dist.(u) then
+          List.iter
+            (fun (v, li) ->
+              let l = snap.Snapshot.links.(li) in
+              let alt = du +. link_cost weight l in
+              if alt < dist.(v) then begin
+                dist.(v) <- alt;
+                Pqueue.insert_or_decrease q v alt
+              end)
+            (Snapshot.neighbors snap u)
   done;
   dist
 

@@ -2,7 +2,25 @@ module Snapshot = Sate_topology.Snapshot
 module Link = Sate_topology.Link
 module Simplex = Sate_lp.Simplex
 
+module Certificate = Sate_lp.Certificate
+
 type objective = Max_throughput | Min_mlu | Max_log_utility
+
+exception Verification_failed of string
+
+(* Raise if an [Optimal] outcome fails the independent certificate
+   check (primal feasibility + objective recomputation). *)
+let certify ~what ~c ~constraints outcome =
+  match Certificate.check ~c ~constraints outcome with
+  | None -> ()
+  | Some report ->
+      if not (Certificate.valid report) then
+        raise
+          (Verification_failed
+             (Printf.sprintf "%s: %s" what (Certificate.report_to_string report)))
+
+let fail_check what fmt =
+  Printf.ksprintf (fun s -> raise (Verification_failed (what ^ ": " ^ s))) fmt
 
 (* Variable layout: candidate paths flattened commodity-major;
    [offsets.(f)] is the first variable of commodity [f]. *)
@@ -109,7 +127,7 @@ let log_utility_tangents = [ 0.05; 0.2; 0.5; 1.0 ]
    non-negative in the simplex (log of small rates is negative). *)
 let log_utility_shift = 25.0
 
-let solve_with_value ?(objective = Max_throughput) inst =
+let solve_with_value ?(objective = Max_throughput) ?(verify = false) inst =
   let offsets, n_paths = layout inst in
   if n_paths = 0 then (Allocation.zeros inst, 0.0)
   else
@@ -123,12 +141,30 @@ let solve_with_value ?(objective = Max_throughput) inst =
           @ demand_rows inst ~n_vars ~sense:Simplex.Le offsets
         in
         match Simplex.solve ~c ~constraints () with
-        | Simplex.Optimal { solution; _ } ->
+        | Simplex.Optimal { objective = obj; solution } as outcome ->
             let alloc = Allocation.trim inst (to_allocation inst offsets solution) in
-            (alloc, Allocation.total_flow alloc)
+            let flow = Allocation.total_flow alloc in
+            if verify then begin
+              certify ~what:"max-throughput" ~c ~constraints outcome;
+              (* The LP solution is primal-feasible, so the trim
+                 projection must preserve its flow: a gap means either
+                 the certificate or the projection is wrong. *)
+              if Float.abs (flow -. obj) > 1e-5 *. Float.max 1.0 obj then
+                fail_check "max-throughput"
+                  "trim projection changed flow: lp %.9g, trimmed %.9g" obj flow;
+              match Allocation.violations inst alloc with
+              | [] -> ()
+              | v :: _ ->
+                  fail_check "max-throughput" "trimmed allocation infeasible: %s"
+                    (Allocation.violation_to_string v)
+            end;
+            (alloc, flow)
         | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
             (* The throughput LP is always feasible (x = 0); treat any
                numerical failure as an empty allocation. *)
+            if verify then
+              fail_check "max-throughput"
+                "solver failed on a problem that is feasible by construction";
             (Allocation.zeros inst, 0.0))
     | Min_mlu -> (
         let n_vars = n_paths + 1 in
@@ -140,8 +176,18 @@ let solve_with_value ?(objective = Max_throughput) inst =
           @ demand_rows inst ~n_vars ~sense:Simplex.Eq offsets
         in
         match Simplex.solve ~maximize:false ~c ~constraints () with
-        | Simplex.Optimal { objective = t; solution } ->
-            (to_allocation inst offsets solution, t)
+        | Simplex.Optimal { objective = t; solution } as outcome ->
+            let alloc = to_allocation inst offsets solution in
+            if verify then begin
+              certify ~what:"min-mlu" ~c ~constraints outcome;
+              (* Every capacity row reads load <= cap * t, so the
+                 achieved utilisation can never exceed the optimum. *)
+              let achieved = Allocation.mlu inst alloc in
+              if achieved > t +. 1e-5 *. Float.max 1.0 t then
+                fail_check "min-mlu" "achieved MLU %.9g exceeds optimum %.9g"
+                  achieved t
+            end;
+            (alloc, t)
         | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
             (Allocation.zeros inst, Float.infinity))
     | Max_log_utility -> (
@@ -193,12 +239,22 @@ let solve_with_value ?(objective = Max_throughput) inst =
                 log_utility_tangents)
             routable
         in
-        match Simplex.solve ~c ~constraints:(base_rows @ tangent_rows) () with
-        | Simplex.Optimal { solution; _ } ->
+        let constraints = base_rows @ tangent_rows in
+        match Simplex.solve ~c ~constraints () with
+        | Simplex.Optimal { solution; _ } as outcome ->
             let alloc =
               Allocation.trim inst
                 (to_allocation inst offsets (Array.sub solution 0 n_paths))
             in
+            if verify then begin
+              certify ~what:"max-log-utility" ~c ~constraints outcome;
+              match Allocation.violations inst alloc with
+              | [] -> ()
+              | v :: _ ->
+                  fail_check "max-log-utility"
+                    "trimmed allocation infeasible: %s"
+                    (Allocation.violation_to_string v)
+            end;
             (* Report the true achieved utility, not the piecewise
                surrogate. *)
             let utility =
@@ -212,4 +268,4 @@ let solve_with_value ?(objective = Max_throughput) inst =
         | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit ->
             (Allocation.zeros inst, Float.neg_infinity))
 
-let solve ?objective inst = fst (solve_with_value ?objective inst)
+let solve ?objective ?verify inst = fst (solve_with_value ?objective ?verify inst)

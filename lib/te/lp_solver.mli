@@ -18,13 +18,26 @@ type objective =
           discussion).  Solved by outer piecewise-linear tangent
           approximation of the log. *)
 
+exception Verification_failed of string
+(** Raised in [~verify:true] mode when an [Optimal] result fails the
+    independent certificate check (see {!Sate_lp.Certificate}) or an
+    objective-specific cross-check. *)
+
 val solve :
-  ?objective:objective -> Instance.t -> Allocation.t
+  ?objective:objective -> ?verify:bool -> Instance.t -> Allocation.t
 (** Optimal feasible allocation.  Commodities without candidate paths
     get zero.  For [Min_mlu], commodities are scaled down uniformly
-    first if routing all demand is infeasible. *)
+    first if routing all demand is infeasible.
+
+    With [~verify:true] (default false), every [Optimal] simplex
+    result is re-checked against the original constraint system
+    ({!Sate_lp.Certificate}): primal feasibility, objective
+    recomputation, and a cross-check tying the LP objective to the
+    {!Allocation.trim}-projected allocation (flow preservation for
+    throughput, achieved MLU bound for MLU).  Raises
+    {!Verification_failed} on any discrepancy. *)
 
 val solve_with_value :
-  ?objective:objective -> Instance.t -> Allocation.t * float
+  ?objective:objective -> ?verify:bool -> Instance.t -> Allocation.t * float
 (** Also return the objective value: total throughput in Mbps, the
     achieved MLU, or the achieved sum of log-rates. *)

@@ -23,7 +23,9 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t n] is uniform on \[0, n).  Requires [n > 0]. *)
+(** [int t n] is uniform on \[0, n) — exactly uniform: rejection
+    sampling avoids the modulo bias of taking raw bits mod [n].
+    Raises [Invalid_argument] if [n <= 0]. *)
 
 val float : t -> float -> float
 (** [float t x] is uniform on \[0, x). *)

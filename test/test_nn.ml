@@ -153,6 +153,12 @@ let test_dump_load_roundtrip () =
   let y1 = Layers.forward_mlp m1 (A.const x) and y2 = Layers.forward_mlp m2 (A.const x) in
   Alcotest.(check bool) "identical outputs" true (y1.A.value.Tensor.data = y2.A.value.Tensor.data)
 
+let test_segment_softmax_negative_id () =
+  let x = A.leaf (rand_tensor 35 3 1) in
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Autodiff.segment_softmax: negative segment id") (fun () ->
+      ignore (A.segment_softmax x [| 0; -2; 1 |]))
+
 let test_adam_minimises_quadratic () =
   (* Minimise ||x - target||^2. *)
   let target = rand_tensor 33 2 3 in
@@ -193,6 +199,7 @@ let suite =
     Alcotest.test_case "grad gather" `Quick test_grad_gather;
     Alcotest.test_case "grad scatter" `Quick test_grad_scatter;
     Alcotest.test_case "grad segment softmax" `Quick test_grad_segment_softmax;
+    Alcotest.test_case "segment softmax negative id" `Quick test_segment_softmax_negative_id;
     Alcotest.test_case "grad col_mul" `Quick test_grad_col_mul;
     Alcotest.test_case "grad add_rowvec" `Quick test_grad_add_rowvec;
     Alcotest.test_case "grad concat" `Quick test_grad_concat;
