@@ -367,17 +367,20 @@ let fig10ab () =
             [ Method.Sate model; Method.Lp; Method.Pop 4; Method.Ecmp_wf;
               Method.Satellite_routing ]
           in
+          (* One domain-pool task per method; each builds its own
+             (identically seeded) scenario since Scenario.t is
+             stateful. *)
+          let reports =
+            Online.evaluate_all ~cadence_ms:cadence ~duration_s:45.0
+              ~scenario_of:(fun _ -> scenario ~mode ~lambda ())
+              methods
+          in
           List.iter
-            (fun m ->
-              let s = scenario ~mode ~lambda () in
-              let r =
-                Online.evaluate ?latency_override_ms:(cadence m)
-                  ~duration_s:45.0 s m
-              in
+            (fun r ->
               rowf "fig10ab %-7s lambda=%4.1f  %-18s satisfied=%.3f (rounds=%d)"
                 mode_name lambda r.Online.method_name r.Online.mean_satisfied
                 r.Online.recomputations)
-            methods)
+            reports)
         lambdas)
     modes
 

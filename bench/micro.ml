@@ -7,6 +7,10 @@ module Model = Sate_gnn.Model
 module Te_graph = Sate_gnn.Te_graph
 module Tensor = Sate_tensor.Tensor
 module Scenario = Sate_core.Scenario
+module Par = Sate_par.Par
+module Constellation = Sate_orbit.Constellation
+module Builder = Sate_topology.Builder
+module Path_db = Sate_paths.Path_db
 
 let tests () =
   let s =
@@ -19,6 +23,18 @@ let tests () =
   let graph = Te_graph.of_instance inst in
   let a = Tensor.xavier (Sate_util.Rng.create 1) 64 64 in
   let b = Tensor.xavier (Sate_util.Rng.create 2) 64 64 in
+  (* 256x256 is above the matmul parallel gate; the "-par" variants
+     use the ambient pool (sized by SATE_DOMAINS or core count) while
+     the plain ones pin a size-1 pool, so the pair measures the
+     domain-pool speedup directly. *)
+  let a256 = Tensor.xavier (Sate_util.Rng.create 3) 256 256 in
+  let b256 = Tensor.xavier (Sate_util.Rng.create 4) 256 256 in
+  let iridium = Constellation.iridium in
+  let snap = Builder.snapshot (Builder.create iridium) ~time_s:0.0 in
+  let db_pairs =
+    let n = Constellation.size iridium in
+    List.init 16 (fun i -> (i mod n, ((i * 13) + 5) mod n))
+  in
   Test.make_grouped ~name:"te" ~fmt:"%s/%s"
     [ Test.make ~name:"sate-inference" (Staged.stage (fun () -> Model.forward model graph));
       Test.make ~name:"sate-end-to-end" (Staged.stage (fun () -> Model.predict model inst));
@@ -31,7 +47,16 @@ let tests () =
       Test.make ~name:"satellite-routing"
         (Staged.stage (fun () -> Sate_baselines.Satellite_routing.solve inst));
       Test.make ~name:"graph-build" (Staged.stage (fun () -> Te_graph.of_instance inst));
-      Test.make ~name:"matmul-64" (Staged.stage (fun () -> Tensor.matmul a b)) ]
+      Test.make ~name:"matmul-64" (Staged.stage (fun () -> Tensor.matmul a b));
+      Test.make ~name:"matmul-256"
+        (Staged.stage (fun () -> Par.with_domains 1 (fun () -> Tensor.matmul a256 b256)));
+      Test.make ~name:"matmul-256-par" (Staged.stage (fun () -> Tensor.matmul a256 b256));
+      Test.make ~name:"path-db"
+        (Staged.stage (fun () ->
+             Par.with_domains 1 (fun () ->
+                 Path_db.compute iridium snap ~pairs:db_pairs ~k:4)));
+      Test.make ~name:"path-db-par"
+        (Staged.stage (fun () -> Path_db.compute iridium snap ~pairs:db_pairs ~k:4)) ]
 
 let run () =
   print_endline "\n=== micro: bechamel kernel benchmarks (ns/run) ===";

@@ -1,6 +1,7 @@
 module Instance = Sate_te.Instance
 module Allocation = Sate_te.Allocation
 module Path = Sate_paths.Path
+module Par = Sate_par.Par
 
 type report = {
   method_name : string;
@@ -112,3 +113,19 @@ let evaluate ?(tick_s = 1.0) ?latency_override_ms ?(debug = false) ~duration_s
        else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
     recomputations = !recomputations;
     debug_violations = !violation_count }
+
+let evaluate_all ?(tick_s = 1.0) ?(cadence_ms = fun _ -> None) ?(debug = false)
+    ~duration_s ~scenario_of methods =
+  (* Scenarios are stateful (path DB, traffic generator), so each
+     method gets a fresh one from [scenario_of] inside its own task;
+     the fan-out then shares nothing but read-only model weights.
+     Results return in the order of [methods]. *)
+  let reports =
+    Par.map_array
+      (fun m ->
+        let scenario = scenario_of m in
+        evaluate ~tick_s ?latency_override_ms:(cadence_ms m) ~debug ~duration_s
+          scenario m)
+      (Array.of_list methods)
+  in
+  Array.to_list reports

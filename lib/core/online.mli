@@ -54,3 +54,21 @@ val evaluate :
     allocation — against the feasibility invariants of its instance;
     violations are printed to stderr and counted in
     [debug_violations]. *)
+
+val evaluate_all :
+  ?tick_s:float ->
+  ?cadence_ms:(Method.t -> float option) ->
+  ?debug:bool ->
+  duration_s:float ->
+  scenario_of:(Method.t -> Scenario.t) ->
+  Method.t list ->
+  report list
+(** Fan {!evaluate} out across the {!Sate_par.Par} domain pool, one
+    task per method.  Because {!Scenario.t} is stateful, each task
+    builds its own scenario via [scenario_of]; pass a closure that
+    recreates the same seeded configuration for a like-for-like
+    comparison.  [cadence_ms] maps each method to its
+    [latency_override_ms] (e.g. the paper's Gurobi/POP/ECMP replay
+    cadences); with overrides pinned, reports are deterministic and
+    identical to sequential runs.  Reports preserve the order of the
+    input list. *)

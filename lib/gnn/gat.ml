@@ -1,5 +1,6 @@
 open Sate_tensor
 module A = Sate_nn.Autodiff
+module Par = Sate_par.Par
 
 type head = {
   w_src : A.t; (* dim x head_dim: Theta_n applied to neighbours *)
@@ -28,7 +29,7 @@ let create ?(attention = true) rng ~dim ~heads =
     w_self = A.leaf (Tensor.xavier rng dim dim);
     attention }
 
-let forward t ~x_src ~x_dst ~edges =
+let forward ?(parallel = false) t ~x_src ~x_dst ~edges =
   let { Te_graph.src; dst; feat } = edges in
   let n_dst = (fst (A.shape x_dst)) in
   let feat_node = A.const feat in
@@ -56,14 +57,18 @@ let forward t ~x_src ~x_dst ~edges =
           A.const
             (Tensor.segment_softmax (Tensor.create (Array.length dst) 1) dst)
       in
-      ignore scores;
       (* Eq. 6 messages: alpha * (Theta_n v_j + Theta_e e). *)
       let msg = A.col_mul (A.add hs_e he) alpha in
       A.scatter_add_rows msg dst ~rows:n_dst
     in
-    let aggregated =
-      A.concat_cols (Array.to_list (Array.map per_head t.heads))
+    (* Heads build independent subgraphs, so they fan out across the
+       domain pool; concatenation keeps the fixed head order, so the
+       forward values are bit-identical to the sequential pass. *)
+    let heads_out =
+      if parallel then Par.map_array per_head t.heads
+      else Array.map per_head t.heads
     in
+    let aggregated = A.concat_cols (Array.to_list heads_out) in
     A.leaky_relu (A.add self aggregated)
   end
 

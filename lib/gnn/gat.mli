@@ -18,6 +18,7 @@ val create :
     attention weights) — the ablation of Sec. 3.3's design choice. *)
 
 val forward :
+  ?parallel:bool ->
   t ->
   x_src:Sate_nn.Autodiff.t ->
   x_dst:Sate_nn.Autodiff.t ->
@@ -25,6 +26,13 @@ val forward :
   Sate_nn.Autodiff.t
 (** New destination embeddings ([N_dst x dim]).  Edge [src]/[dst]
     indices address [x_src]/[x_dst] rows respectively.  Destinations
-    without incoming edges keep only their self term. *)
+    without incoming edges keep only their self term.
+
+    [~parallel:true] (default false) fans the attention heads out
+    across the {!Sate_par.Par} domain pool.  Forward {e values} are
+    bit-identical either way; graph-node creation order (and hence
+    gradient accumulation order under {!Sate_nn.Autodiff.backward})
+    becomes scheduling-dependent, so training paths keep the default
+    sequential construction. *)
 
 val params : t -> Sate_nn.Autodiff.t list

@@ -3,6 +3,7 @@ module A = Sate_nn.Autodiff
 module Layers = Sate_nn.Layers
 module Rng = Sate_util.Rng
 module Instance = Sate_te.Instance
+module Par = Sate_par.Par
 
 type hyper = {
   dim : int;
@@ -72,9 +73,14 @@ let params t =
 
 let num_parameters t = Layers.num_parameters (params t)
 
-let forward t (g : Te_graph.t) =
+let forward ?(parallel = false) t (g : Te_graph.t) =
   if g.Te_graph.num_paths = 0 then A.const (Tensor.create 0 1)
   else begin
+    (* [pair f g] evaluates the two independent per-layer block
+       updates, on two pool workers when [parallel] is set.  Results
+       land in fixed slots, so forward values never depend on
+       scheduling. *)
+    let pair f g = if parallel then Par.both f g else (f (), g ()) in
     (* Embedding initialisation (Fig. 7 table). *)
     let x_sat = ref (A.matmul (A.const g.Te_graph.sat_feat) t.w_ne1) in
     let x_path = ref (A.matmul (A.const g.Te_graph.path_feat) t.w_ne2) in
@@ -83,7 +89,9 @@ let forward t (g : Te_graph.t) =
     Array.iter
       (fun gat ->
         x_sat :=
-          A.add !x_sat (Gat.forward gat ~x_src:!x_sat ~x_dst:!x_sat ~edges:g.Te_graph.r1))
+          A.add !x_sat
+            (Gat.forward ~parallel gat ~x_src:!x_sat ~x_dst:!x_sat
+               ~edges:g.Te_graph.r1))
       t.r1;
     (* Ablation: redundant access relation (traffic -> satellite). *)
     (match g.Te_graph.access with
@@ -92,19 +100,21 @@ let forward t (g : Te_graph.t) =
           (fun gat ->
             x_sat :=
               A.add !x_sat
-                (Gat.forward gat ~x_src:!x_traffic ~x_dst:!x_sat ~edges:access_edges))
+                (Gat.forward ~parallel gat ~x_src:!x_traffic ~x_dst:!x_sat
+                   ~edges:access_edges))
           t.access_traffic_to_sat
     | None -> ());
     (* GNN for R2: satellites and paths updated concurrently. *)
     for i = 0 to t.hyper.r2_layers - 1 do
       let sat_in = !x_sat and path_in = !x_path in
-      let new_sat =
-        Gat.forward t.r2_path_to_sat.(i) ~x_src:path_in ~x_dst:sat_in
-          ~edges:g.Te_graph.r2
-      in
-      let new_path =
-        Gat.forward t.r2_sat_to_path.(i) ~x_src:sat_in ~x_dst:path_in
-          ~edges:(Te_graph.reverse g.Te_graph.r2)
+      let new_sat, new_path =
+        pair
+          (fun () ->
+            Gat.forward ~parallel t.r2_path_to_sat.(i) ~x_src:path_in
+              ~x_dst:sat_in ~edges:g.Te_graph.r2)
+          (fun () ->
+            Gat.forward ~parallel t.r2_sat_to_path.(i) ~x_src:sat_in
+              ~x_dst:path_in ~edges:(Te_graph.reverse g.Te_graph.r2))
       in
       x_sat := A.add sat_in new_sat;
       x_path := A.add path_in new_path
@@ -112,13 +122,14 @@ let forward t (g : Te_graph.t) =
     (* GNN for R3: paths and traffic demands. *)
     for i = 0 to t.hyper.r3_layers - 1 do
       let path_in = !x_path and traffic_in = !x_traffic in
-      let new_traffic =
-        Gat.forward t.r3_path_to_traffic.(i) ~x_src:path_in ~x_dst:traffic_in
-          ~edges:g.Te_graph.r3
-      in
-      let new_path =
-        Gat.forward t.r3_traffic_to_path.(i) ~x_src:traffic_in ~x_dst:path_in
-          ~edges:(Te_graph.reverse g.Te_graph.r3)
+      let new_traffic, new_path =
+        pair
+          (fun () ->
+            Gat.forward ~parallel t.r3_path_to_traffic.(i) ~x_src:path_in
+              ~x_dst:traffic_in ~edges:g.Te_graph.r3)
+          (fun () ->
+            Gat.forward ~parallel t.r3_traffic_to_path.(i) ~x_src:traffic_in
+              ~x_dst:path_in ~edges:(Te_graph.reverse g.Te_graph.r3))
       in
       x_traffic := A.add traffic_in new_traffic;
       x_path := A.add path_in new_path
@@ -131,7 +142,9 @@ let forward t (g : Te_graph.t) =
 
 let predict ?(trim = true) t inst =
   let g = Te_graph.of_instance ~with_access_relation:t.hyper.with_access_relation inst in
-  let ratios = forward t g in
+  (* Inference never runs backward, so the scheduling-dependent node
+     ids of parallel graph construction are harmless here. *)
+  let ratios = forward ~parallel:true t g in
   let alloc = Sate_te.Allocation.zeros inst in
   let p = ref 0 in
   Array.iteri

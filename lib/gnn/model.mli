@@ -42,8 +42,14 @@ val params : t -> Sate_nn.Autodiff.t list
 
 val num_parameters : t -> int
 
-val forward : t -> Te_graph.t -> Sate_nn.Autodiff.t
-(** Allocation ratios, [num_paths x 1], each in (0, 1). *)
+val forward : ?parallel:bool -> t -> Te_graph.t -> Sate_nn.Autodiff.t
+(** Allocation ratios, [num_paths x 1], each in (0, 1).
+    [~parallel:true] (default false) runs the attention heads and the
+    independent per-layer block updates of R2/R3 on the
+    {!Sate_par.Par} domain pool; forward values are bit-identical to
+    the sequential pass, but graph construction order is not, so
+    training (which runs {!Sate_nn.Autodiff.backward}) sticks with the
+    default. *)
 
 val predict : ?trim:bool -> t -> Sate_te.Instance.t -> Sate_te.Allocation.t
 (** End-to-end inference: build the graph, run {!forward}, scale by

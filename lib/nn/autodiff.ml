@@ -8,11 +8,14 @@ type t = {
   parents : t list;
 }
 
-let counter = ref 0
+(* Atomic so graphs may be built from several domains at once (the
+   GNN's per-head fan-out): ids stay unique, and each node's id still
+   exceeds its parents' since parents are created first.  Descending
+   ids therefore remain a valid reverse topological order. *)
+let counter = Atomic.make 1
 
 let node value parents =
-  incr counter;
-  { id = !counter;
+  { id = Atomic.fetch_and_add counter 1;
     value;
     grad = Tensor.create value.Tensor.rows value.Tensor.cols;
     back = (fun () -> ());
@@ -192,16 +195,16 @@ let segment_softmax scores seg =
   out.back <-
     (fun () ->
       let m = y.Tensor.rows in
-      let max_seg = Array.fold_left max 0 (if m = 0 then [| 0 |] else seg) in
-      let dot = Array.make (max_seg + 1) 0.0 in
-      for i = 0 to m - 1 do
-        dot.(seg.(i)) <- dot.(seg.(i)) +. (y.Tensor.data.(i) *. out.grad.Tensor.data.(i))
-      done;
-      let g =
-        Tensor.init m 1 (fun i _ ->
-            y.Tensor.data.(i) *. (out.grad.Tensor.data.(i) -. dot.(seg.(i))))
-      in
-      accumulate scores g);
+      if m > 0 then begin
+        let segments = 1 + Array.fold_left max 0 seg in
+        let dot = Tensor.segment_sum (Tensor.mul y out.grad) seg ~segments in
+        let g =
+          Tensor.init m 1 (fun i _ ->
+              y.Tensor.data.(i)
+              *. (out.grad.Tensor.data.(i) -. dot.Tensor.data.(seg.(i))))
+        in
+        accumulate scores g
+      end);
   out
 
 let scalar v = leaf (Tensor.of_array ~rows:1 ~cols:1 [| v |])

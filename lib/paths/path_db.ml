@@ -1,5 +1,6 @@
 module Constellation = Sate_orbit.Constellation
 module Snapshot = Sate_topology.Snapshot
+module Par = Sate_par.Par
 
 type t = {
   constellation : Constellation.t;
@@ -23,40 +24,63 @@ let pairs t =
 let paths t ~src ~dst =
   Option.value ~default:[] (Hashtbl.find_opt t.table (src, dst))
 
+(* One independent Yen/grid search per pair, fanned out over the
+   domain pool.  Results come back in the fixed order of [pairs], so
+   the table contents are identical to the sequential build. *)
+let searches constellation snap ~k pair_list =
+  let arr = Array.of_list pair_list in
+  Par.map_array
+    (fun (src, dst) -> Grid_paths.k_shortest constellation snap ~src ~dst ~k)
+    arr
+
+let dedup pair_list =
+  let seen = Hashtbl.create (List.length pair_list) in
+  List.filter
+    (fun pair ->
+      if Hashtbl.mem seen pair then false
+      else begin
+        Hashtbl.replace seen pair ();
+        true
+      end)
+    pair_list
+
 let compute constellation snap ~pairs ~k =
-  let table = Hashtbl.create (List.length pairs) in
-  List.iter
-    (fun (src, dst) ->
-      if not (Hashtbl.mem table (src, dst)) then
-        Hashtbl.replace table (src, dst)
-          (Grid_paths.k_shortest constellation snap ~src ~dst ~k))
-    pairs;
+  let uniq = dedup pairs in
+  let results = searches constellation snap ~k uniq in
+  let table = Hashtbl.create (List.length uniq) in
+  List.iteri (fun i pair -> Hashtbl.replace table pair results.(i)) uniq;
   { constellation; k; table }
 
 let update t snap =
-  let table = Hashtbl.create (Hashtbl.length t.table) in
+  (* Revalidation and recomputation are independent per pair; iterate
+     the sorted pair array so the fan-out order is deterministic. *)
+  let entries = pairs t in
+  let results =
+    Par.map_array
+      (fun ((src, dst) as pair) ->
+        let paths = Hashtbl.find t.table pair in
+        let still_valid = List.filter (Path.valid_in snap) paths in
+        if List.length still_valid = List.length paths && paths <> [] then
+          (paths, false)
+        else
+          (Grid_paths.k_shortest t.constellation snap ~src ~dst ~k:t.k, true))
+      entries
+  in
+  let table = Hashtbl.create (Array.length entries) in
   let recomputed = ref 0 in
-  Hashtbl.iter
-    (fun (src, dst) paths ->
-      let still_valid = List.filter (Path.valid_in snap) paths in
-      if List.length still_valid = List.length paths && paths <> [] then
-        Hashtbl.replace table (src, dst) paths
-      else begin
-        incr recomputed;
-        Hashtbl.replace table (src, dst)
-          (Grid_paths.k_shortest t.constellation snap ~src ~dst ~k:t.k)
-      end)
-    t.table;
+  Array.iteri
+    (fun i pair ->
+      let paths, was_recomputed = results.(i) in
+      if was_recomputed then incr recomputed;
+      Hashtbl.replace table pair paths)
+    entries;
   ({ t with table }, !recomputed)
 
 let add_pairs t snap new_pairs =
   let table = Hashtbl.copy t.table in
-  List.iter
-    (fun (src, dst) ->
-      if not (Hashtbl.mem table (src, dst)) then
-        Hashtbl.replace table (src, dst)
-          (Grid_paths.k_shortest t.constellation snap ~src ~dst ~k:t.k))
-    new_pairs;
+  let fresh = dedup (List.filter (fun p -> not (Hashtbl.mem table p)) new_pairs) in
+  let results = searches t.constellation snap ~k:t.k fresh in
+  List.iteri (fun i pair -> Hashtbl.replace table pair results.(i)) fresh;
   { t with table }
 
 let stats t =

@@ -11,7 +11,12 @@ let k_shortest ?(weight = Dijkstra.Hops) snap ~src ~dst ~k =
     match Dijkstra.shortest ~weight snap ~src ~dst with
     | None -> []
     | Some first ->
+        (* Newest-first accumulator with an explicit count: the accept
+           loop runs on the per-commodity precompute hot path, and
+           [!accepted @ [best]] / [List.length] per iteration would
+           make it O(k^2).  Reversed once on return. *)
         let accepted = ref [ first ] in
+        let accepted_n = ref 1 in
         (* Candidate pool keyed by cost; paths deduplicated. *)
         let candidates = Sate_util.Heap.create () in
         let known = Hashtbl.create 64 in
@@ -57,15 +62,16 @@ let k_shortest ?(weight = Dijkstra.Hops) snap ~src ~dst ~k =
           done
         in
         let rec loop last =
-          if List.length !accepted >= k then ()
+          if !accepted_n >= k then ()
           else begin
             spurs_of last;
             match Sate_util.Heap.pop candidates with
             | None -> ()
             | Some (_, best) ->
-                accepted := !accepted @ [ best ];
+                accepted := best :: !accepted;
+                incr accepted_n;
                 loop best
           end
         in
         loop first;
-        !accepted
+        List.rev !accepted

@@ -1,4 +1,5 @@
 module Rng = Sate_util.Rng
+module Par = Sate_par.Par
 
 type t = { rows : int; cols : int; data : float array }
 
@@ -41,18 +42,25 @@ let scale k t = map (fun v -> k *. v) t
 let matmul a b =
   if a.cols <> b.rows then invalid_arg "Tensor.matmul: inner dimension mismatch";
   let out = create a.rows b.cols in
-  (* ikj loop order for cache-friendly access on row-major data. *)
-  for i = 0 to a.rows - 1 do
-    for kk = 0 to a.cols - 1 do
-      let aik = a.data.((i * a.cols) + kk) in
-      if aik <> 0.0 then begin
-        let arow = i * b.cols and brow = kk * b.cols in
-        for j = 0 to b.cols - 1 do
-          out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
-        done
-      end
+  (* ikj loop order for cache-friendly access on row-major data.
+     Output rows are independent, so the row range splits across the
+     domain pool; every band runs the exact sequential loop on its own
+     rows and the result is bit-identical for any pool size. *)
+  let row_band lo hi =
+    for i = lo to hi - 1 do
+      for kk = 0 to a.cols - 1 do
+        let aik = a.data.((i * a.cols) + kk) in
+        if aik <> 0.0 then begin
+          let arow = i * b.cols and brow = kk * b.cols in
+          for j = 0 to b.cols - 1 do
+            out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
+          done
+        end
+      done
     done
-  done;
+  in
+  if a.rows * a.cols * b.cols < 65536 then row_band 0 a.rows
+  else Par.range_iter a.rows row_band;
   out
 
 let transpose t = init t.cols t.rows (fun i j -> get t j i)
@@ -76,19 +84,48 @@ let gather_rows m idx =
     idx;
   out
 
+(* Shared core of segment_sum / scatter_add_rows.  Parallelism
+   partitions the *output* segments: each band scans every row but
+   accumulates only rows of its own segments, in row order, so the
+   per-segment addition order — and hence every bit of the result —
+   matches the sequential loop for any pool size. *)
+let segment_sum_into out m seg =
+  let band slo shi =
+    for i = 0 to m.rows - 1 do
+      let s = seg.(i) in
+      if s >= slo && s < shi then begin
+        let orow = s * m.cols and mrow = i * m.cols in
+        for j = 0 to m.cols - 1 do
+          out.data.(orow + j) <- out.data.(orow + j) +. m.data.(mrow + j)
+        done
+      end
+    done
+  in
+  if m.rows * m.cols < 16384 then band 0 out.rows
+  else Par.range_iter ~chunks:(Par.domains ()) out.rows band
+
+let segment_sum m seg ~segments =
+  if Array.length seg <> m.rows then
+    invalid_arg "Tensor.segment_sum: segment length mismatch";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= segments then
+        invalid_arg "Tensor.segment_sum: segment id out of range")
+    seg;
+  let out = create segments m.cols in
+  segment_sum_into out m seg;
+  out
+
 let scatter_add_rows m idx ~rows =
   if Array.length idx <> m.rows then
     invalid_arg "Tensor.scatter_add_rows: index length mismatch";
-  let out = create rows m.cols in
-  Array.iteri
-    (fun i r ->
+  Array.iter
+    (fun r ->
       if r < 0 || r >= rows then
-        invalid_arg "Tensor.scatter_add_rows: index out of range";
-      for j = 0 to m.cols - 1 do
-        out.data.((r * m.cols) + j) <-
-          out.data.((r * m.cols) + j) +. m.data.((i * m.cols) + j)
-      done)
+        invalid_arg "Tensor.scatter_add_rows: index out of range")
     idx;
+  let out = create rows m.cols in
+  segment_sum_into out m idx;
   out
 
 let concat_cols ts =
@@ -155,20 +192,35 @@ let segment_softmax scores seg =
       (fun s ->
         if s < 0 then invalid_arg "Tensor.segment_softmax: negative segment id")
       seg;
-    let max_seg = Array.fold_left max 0 seg in
-    let seg_max = Array.make (max_seg + 1) Float.neg_infinity in
-    for i = 0 to m - 1 do
-      if scores.data.(i) > seg_max.(seg.(i)) then seg_max.(seg.(i)) <- scores.data.(i)
-    done;
-    let seg_sum = Array.make (max_seg + 1) 0.0 in
-    for i = 0 to m - 1 do
-      let e = exp (scores.data.(i) -. seg_max.(seg.(i))) in
-      out.data.(i) <- e;
-      seg_sum.(seg.(i)) <- seg_sum.(seg.(i)) +. e
-    done;
-    for i = 0 to m - 1 do
-      out.data.(i) <- out.data.(i) /. seg_sum.(seg.(i))
-    done
+    let nseg = 1 + Array.fold_left max 0 seg in
+    (* Segment-partitioned bands (see segment_sum_into): each band
+       owns a contiguous range of segment ids and performs the
+       max / exp-sum / divide passes for exactly its own rows, in row
+       order, so results are bit-identical to the sequential pass. *)
+    let band slo shi =
+      let w = shi - slo in
+      let seg_max = Array.make w Float.neg_infinity in
+      for i = 0 to m - 1 do
+        let s = seg.(i) in
+        if s >= slo && s < shi && scores.data.(i) > seg_max.(s - slo) then
+          seg_max.(s - slo) <- scores.data.(i)
+      done;
+      let seg_sum = Array.make w 0.0 in
+      for i = 0 to m - 1 do
+        let s = seg.(i) in
+        if s >= slo && s < shi then begin
+          let e = exp (scores.data.(i) -. seg_max.(s - slo)) in
+          out.data.(i) <- e;
+          seg_sum.(s - slo) <- seg_sum.(s - slo) +. e
+        end
+      done;
+      for i = 0 to m - 1 do
+        let s = seg.(i) in
+        if s >= slo && s < shi then out.data.(i) <- out.data.(i) /. seg_sum.(s - slo)
+      done
+    in
+    if m < 2048 then band 0 nseg
+    else Par.range_iter ~chunks:(Par.domains ()) nseg band
   end;
   out
 

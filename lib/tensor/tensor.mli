@@ -2,10 +2,14 @@
 
     The minimal kernel set needed by the GNN framework: elementwise
     arithmetic, matrix multiplication, row gather/scatter (message
-    passing), and segment softmax (attention normalisation).  This is
-    the repository's stand-in for the GPU tensor engine; operations
-    are single-threaded but the graph sizes after SaTE's dataset
-    pruning keep them fast. *)
+    passing), segment sum, and segment softmax (attention
+    normalisation).  This is the repository's stand-in for the GPU
+    tensor engine.  The heavy kernels ({!matmul}, {!segment_sum},
+    {!scatter_add_rows}, {!segment_softmax}) partition their work
+    across the {!Sate_par.Par} domain pool above a size threshold;
+    partitioning is by disjoint output rows/segments evaluated in the
+    sequential order, so results are bit-identical to single-threaded
+    execution for any pool size. *)
 
 type t = { rows : int; cols : int; data : float array }
 
@@ -62,7 +66,16 @@ val gather_rows : t -> int array -> t
 
 val scatter_add_rows : t -> int array -> rows:int -> t
 (** [scatter_add_rows m idx ~rows] accumulates row [i] of [m] into row
-    [idx.(i)] of a zero [rows x m.cols] tensor. *)
+    [idx.(i)] of a zero [rows x m.cols] tensor.  Raises
+    [Invalid_argument] on a length mismatch or an index outside
+    [\[0, rows)]. *)
+
+val segment_sum : t -> int array -> segments:int -> t
+(** [segment_sum m seg ~segments] sums the rows of [m] into a zero
+    [segments x m.cols] tensor: row [i] accumulates into row
+    [seg.(i)], in increasing [i] order within each segment.  Raises
+    [Invalid_argument] on a length mismatch or a segment id outside
+    [\[0, segments)]. *)
 
 val concat_cols : t list -> t
 (** Horizontal concatenation; all tensors share the row count. *)

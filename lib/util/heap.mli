@@ -20,10 +20,12 @@ val peek : 'a t -> (float * 'a) option
 (** Smallest-priority element without removing it. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the smallest-priority element. *)
+(** Remove and return the smallest-priority element.  The vacated
+    internal slot is cleared, so the heap never retains a popped value
+    from the GC. *)
 
 val pop_exn : 'a t -> float * 'a
 (** Like {!pop} but raises [Invalid_argument] when empty. *)
 
 val clear : 'a t -> unit
-(** Remove all elements. *)
+(** Remove all elements, releasing every stored value reference. *)

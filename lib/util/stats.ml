@@ -35,11 +35,23 @@ let min_max xs =
     (xs.(0), xs.(0))
     xs
 
+(* NaN policy for order statistics: a NaN sample has no rank, so any
+   sorted position we could give it would silently corrupt the
+   percentile — reject loudly instead.  (Polymorphic [compare] both
+   boxes every float on this hot path and leaves NaN placement
+   unspecified; [Float.compare] after this check is total.) *)
+let reject_nan name xs =
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN sample"))
+    xs
+
 let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p out of range";
+  reject_nan "Stats.percentile" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else
@@ -54,8 +66,9 @@ let median xs = percentile xs 50.0
 let cdf_points xs n =
   if Array.length xs = 0 || n <= 0 then []
   else begin
+    reject_nan "Stats.cdf_points" xs;
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let len = Array.length sorted in
     List.init n (fun i ->
         let frac = float_of_int (i + 1) /. float_of_int n in

@@ -20,14 +20,19 @@ val min_max : float array -> float * float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in \[0,100\], linear interpolation
-    between order statistics.  Does not mutate [xs]. *)
+    between order statistics.  Does not mutate [xs].  Raises
+    [Invalid_argument] on an empty array, on [p] outside the range
+    (including NaN), or on any NaN sample — a NaN has no rank, so
+    order statistics over it are meaningless. *)
 
 val median : float array -> float
 (** 50th percentile. *)
 
 val cdf_points : float array -> int -> (float * float) list
 (** [cdf_points xs n] returns [n] evenly spaced [(value, fraction)]
-    points of the empirical CDF, suitable for plotting or printing. *)
+    points of the empirical CDF, suitable for plotting or printing.
+    Raises [Invalid_argument] on any NaN sample (same policy as
+    {!percentile}). *)
 
 val histogram : float array -> bins:int -> (float * int) array
 (** [histogram xs ~bins] buckets samples into [bins] equal-width bins;

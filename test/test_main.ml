@@ -13,6 +13,7 @@ let () =
       ("gnn", Test_gnn.suite);
       ("pruning", Test_pruning.suite);
       ("baselines", Test_baselines.suite);
+      ("par", Test_par.suite);
       ("core", Test_core.suite);
       ("check", Test_check.suite);
       ("integration", Test_integration.suite);

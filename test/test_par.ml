@@ -1,0 +1,229 @@
+(* Determinism tests for the Sate_par domain pool: every parallel
+   kernel must produce bit-identical results for any pool size,
+   including the sequential (size-1) fallback. *)
+
+open Sate_tensor
+module Par = Sate_par.Par
+module Rng = Sate_util.Rng
+module Constellation = Sate_orbit.Constellation
+module Builder = Sate_topology.Builder
+module Path = Sate_paths.Path
+module Path_db = Sate_paths.Path_db
+module A = Sate_nn.Autodiff
+module Te_graph = Sate_gnn.Te_graph
+module Gat = Sate_gnn.Gat
+module Scenario = Sate_core.Scenario
+module Method = Sate_core.Method
+module Online = Sate_core.Online
+
+(* Bitwise tensor equality: Int64 payload comparison distinguishes
+   -0.0 from 0.0 and any rounding difference a tolerance would hide. *)
+let check_bits_equal name (a : Tensor.t) (b : Tensor.t) =
+  Alcotest.(check (pair int int)) (name ^ " shape") (a.Tensor.rows, a.Tensor.cols)
+    (b.Tensor.rows, b.Tensor.cols);
+  Array.iteri
+    (fun i x ->
+      let y = b.Tensor.data.(i) in
+      if Int64.bits_of_float x <> Int64.bits_of_float y then
+        Alcotest.failf "%s: element %d differs bitwise (%h vs %h)" name i x y)
+    a.Tensor.data
+
+let pool_sizes = [ 1; 2; 4 ]
+
+(* Run [f] under each pool size and check all results are bitwise
+   equal to the size-1 (sequential-fallback) baseline. *)
+let check_pools name f =
+  let baseline = Par.with_domains 1 f in
+  List.iter
+    (fun n ->
+      let got = Par.with_domains n f in
+      check_bits_equal (Printf.sprintf "%s (pool %d)" name n) baseline got)
+    pool_sizes
+
+let random_tensor rng rows cols =
+  Tensor.init rows cols (fun _ _ -> Rng.uniform rng (-2.0) 2.0)
+
+(* 97*53*61 flops > 65536, so the parallel path is exercised. *)
+let test_matmul_deterministic () =
+  let rng = Rng.create 11 in
+  let a = random_tensor rng 97 53 in
+  let b = random_tensor rng 53 61 in
+  check_pools "matmul" (fun () -> Tensor.matmul a b)
+
+(* 3000 rows > the 2048-row gate. *)
+let test_segment_softmax_deterministic () =
+  let rng = Rng.create 12 in
+  let m = 3000 and segments = 40 in
+  let scores = random_tensor rng m 1 in
+  let seg = Array.init m (fun i -> (i * 7) mod segments) in
+  check_pools "segment_softmax" (fun () -> Tensor.segment_softmax scores seg)
+
+(* 3000*8 cells > the 16384-cell gate. *)
+let test_segment_sum_deterministic () =
+  let rng = Rng.create 13 in
+  let m = 3000 and segments = 50 in
+  let x = random_tensor rng m 8 in
+  let seg = Array.init m (fun i -> (i * 3) mod segments) in
+  check_pools "segment_sum" (fun () -> Tensor.segment_sum x seg ~segments)
+
+let test_map_array_matches_sequential () =
+  let input = Array.init 1000 (fun i -> i) in
+  let expected = Array.map (fun i -> (i * i) + 1) input in
+  List.iter
+    (fun n ->
+      let got = Par.with_domains n (fun () -> Par.map_array (fun i -> (i * i) + 1) input) in
+      Alcotest.(check (array int)) (Printf.sprintf "map_array pool %d" n) expected got)
+    pool_sizes
+
+let test_parallel_for_covers_all_indices () =
+  List.iter
+    (fun n ->
+      let hits = Array.make 997 0 in
+      Par.with_domains n (fun () ->
+          Par.parallel_for 997 (fun i -> hits.(i) <- hits.(i) + 1));
+      Alcotest.(check bool) (Printf.sprintf "each index once (pool %d)" n) true
+        (Array.for_all (fun h -> h = 1) hits))
+    pool_sizes
+
+let test_map_reduce_sum () =
+  let n = 10001 in
+  let expected = n * (n - 1) / 2 in
+  List.iter
+    (fun d ->
+      let got =
+        Par.with_domains d (fun () ->
+            Par.map_reduce ~map:(fun i -> i) ~combine:( + ) ~init:0 n)
+      in
+      Alcotest.(check int) (Printf.sprintf "map_reduce pool %d" d) expected got)
+    pool_sizes
+
+let test_exception_propagates_and_pool_survives () =
+  Par.with_domains 2 (fun () ->
+      Alcotest.check_raises "worker exception reaches caller"
+        (Failure "boom at 321") (fun () ->
+          Par.parallel_for 1000 (fun i ->
+              if i = 321 then failwith "boom at 321"));
+      (* The pool must stay usable after a failed task. *)
+      let out = Par.map_array (fun i -> i * 2) (Array.init 64 (fun i -> i)) in
+      Alcotest.(check (array int)) "pool reusable after failure"
+        (Array.init 64 (fun i -> i * 2)) out)
+
+let iridium_pairs () =
+  (* A deterministic spread of pairs, with duplicates to exercise
+     dedup inside Path_db.compute. *)
+  let n = Constellation.size Constellation.iridium in
+  let pairs = List.init 24 (fun i -> (i mod n, (i * 13 + 5) mod n)) in
+  pairs @ [ List.hd pairs ]
+
+let path_db_fingerprint db =
+  Array.to_list (Path_db.pairs db)
+  |> List.map (fun (src, dst) ->
+         let paths = Path_db.paths db ~src ~dst in
+         ((src, dst), List.map Path.to_list paths))
+
+let test_path_db_deterministic () =
+  let b = Builder.create Constellation.iridium in
+  let snap = Builder.snapshot b ~time_s:0.0 in
+  let pairs = iridium_pairs () in
+  let baseline =
+    Par.with_domains 1 (fun () ->
+        path_db_fingerprint (Path_db.compute Constellation.iridium snap ~pairs ~k:4))
+  in
+  List.iter
+    (fun n ->
+      let got =
+        Par.with_domains n (fun () ->
+            path_db_fingerprint (Path_db.compute Constellation.iridium snap ~pairs ~k:4))
+      in
+      Alcotest.(check bool) (Printf.sprintf "path db pool %d" n) true (baseline = got))
+    pool_sizes
+
+let test_gat_forward_parallel_deterministic () =
+  let rng = Rng.create 21 in
+  let dim = 8 and heads = 4 in
+  let n_src = 30 and n_dst = 20 and m = 90 in
+  let gat = Gat.create (Rng.split rng) ~dim ~heads in
+  let x_src = A.leaf (random_tensor rng n_src dim) in
+  let x_dst = A.leaf (random_tensor rng n_dst dim) in
+  let edges =
+    { Te_graph.src = Array.init m (fun i -> (i * 11) mod n_src);
+      Te_graph.dst = Array.init m (fun i -> (i * 7) mod n_dst);
+      Te_graph.feat = random_tensor rng m 1 }
+  in
+  let run () = (Gat.forward ~parallel:true gat ~x_src ~x_dst ~edges).A.value in
+  let sequential = (Gat.forward gat ~x_src ~x_dst ~edges).A.value in
+  check_bits_equal "gat parallel vs sequential" sequential
+    (Par.with_domains 4 run);
+  check_pools "gat forward" run
+
+let small_scenario () =
+  Scenario.create
+    ~config:{ Scenario.default_config with Scenario.lambda = 4.0; warmup_s = 10.0 }
+    ()
+
+let report_fingerprint (r : Online.report) =
+  (r.Online.method_name, r.Online.mean_satisfied, r.Online.per_tick,
+   r.Online.recomputations)
+
+let test_evaluate_all_matches_sequential () =
+  let methods = [ Method.Ecmp_wf; Method.Satellite_routing ] in
+  (* Pin latency so reports do not depend on wall-clock timing. *)
+  let cadence = function
+    | Method.Ecmp_wf -> Some 54000.0
+    | Method.Satellite_routing -> Some 0.0
+    | _ -> None
+  in
+  let sequential =
+    List.map
+      (fun m ->
+        let s = small_scenario () in
+        report_fingerprint
+          (Online.evaluate ?latency_override_ms:(cadence m) ~duration_s:3.0 s m))
+      methods
+  in
+  List.iter
+    (fun n ->
+      let got =
+        Par.with_domains n (fun () ->
+            Online.evaluate_all ~cadence_ms:cadence ~duration_s:3.0
+              ~scenario_of:(fun _ -> small_scenario ())
+              methods)
+        |> List.map report_fingerprint
+      in
+      Alcotest.(check bool) (Printf.sprintf "evaluate_all pool %d" n) true
+        (sequential = got))
+    pool_sizes
+
+let test_chunking_properties () =
+  (* parallel_for with n = 0 and n = 1 must be safe under any pool. *)
+  Par.with_domains 3 (fun () ->
+      Par.parallel_for 0 (fun _ -> Alcotest.fail "called on empty range");
+      let hit = ref false in
+      Par.parallel_for 1 (fun i ->
+          Alcotest.(check int) "index" 0 i;
+          hit := true);
+      Alcotest.(check bool) "singleton ran" true !hit;
+      (* Nested submission falls back to inline execution, no deadlock. *)
+      let nested = ref (-1) in
+      Par.parallel_for 4 (fun i ->
+          if i = 2 then Par.parallel_for 3 (fun j -> if j = 1 then nested := i));
+      Alcotest.(check int) "nested inline" 2 !nested)
+
+let suite =
+  [ Alcotest.test_case "matmul deterministic" `Quick test_matmul_deterministic;
+    Alcotest.test_case "segment softmax deterministic" `Quick
+      test_segment_softmax_deterministic;
+    Alcotest.test_case "segment sum deterministic" `Quick
+      test_segment_sum_deterministic;
+    Alcotest.test_case "map_array" `Quick test_map_array_matches_sequential;
+    Alcotest.test_case "parallel_for coverage" `Quick
+      test_parallel_for_covers_all_indices;
+    Alcotest.test_case "map_reduce sum" `Quick test_map_reduce_sum;
+    Alcotest.test_case "exception propagation" `Quick
+      test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "path db deterministic" `Quick test_path_db_deterministic;
+    Alcotest.test_case "gat parallel deterministic" `Quick
+      test_gat_forward_parallel_deterministic;
+    Alcotest.test_case "evaluate_all deterministic" `Slow
+      test_evaluate_all_matches_sequential;
+    Alcotest.test_case "chunking edge cases" `Quick test_chunking_properties ]

@@ -85,6 +85,25 @@ let test_segment_softmax_stability () =
   let y = Tensor.segment_softmax scores [| 0; 0 |] in
   Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite y.Tensor.data)
 
+let test_segment_sum () =
+  let m = t_of 4 2 [ 1.0; 2.0; 10.0; 20.0; 100.0; 200.0; 0.5; 0.5 ] in
+  let seg = [| 1; 0; 1; 1 |] in
+  let s = Tensor.segment_sum m seg ~segments:3 in
+  Alcotest.(check (float 1e-9)) "seg0 col0" 10.0 (Tensor.get s 0 0);
+  Alcotest.(check (float 1e-9)) "seg1 col0" 101.5 (Tensor.get s 1 0);
+  Alcotest.(check (float 1e-9)) "seg1 col1" 202.5 (Tensor.get s 1 1);
+  Alcotest.(check (float 1e-9)) "empty seg2" 0.0 (Tensor.get s 2 0);
+  (* Same reduction as scatter_add_rows with rows = segments. *)
+  let via_scatter = Tensor.scatter_add_rows m seg ~rows:3 in
+  Alcotest.(check bool) "matches scatter_add_rows" true
+    (s.Tensor.data = via_scatter.Tensor.data);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Tensor.segment_sum: segment length mismatch") (fun () ->
+      ignore (Tensor.segment_sum m [| 0 |] ~segments:3));
+  Alcotest.check_raises "id out of range"
+    (Invalid_argument "Tensor.segment_sum: segment id out of range") (fun () ->
+      ignore (Tensor.segment_sum m [| 0; 1; 2; 3 |] ~segments:3))
+
 let test_of_array_copies () =
   (* Regression: of_array used to alias the caller's array, so later
      mutation of the source silently corrupted the tensor. *)
@@ -143,6 +162,7 @@ let suite =
     Alcotest.test_case "reductions" `Quick test_reductions;
     Alcotest.test_case "segment softmax" `Quick test_segment_softmax;
     Alcotest.test_case "softmax stability" `Quick test_segment_softmax_stability;
+    Alcotest.test_case "segment sum" `Quick test_segment_sum;
     Alcotest.test_case "of_array copies" `Quick test_of_array_copies;
     Alcotest.test_case "softmax negative id" `Quick test_segment_softmax_negative_id;
     Alcotest.test_case "xavier bounds" `Quick test_xavier_bounds;

@@ -125,6 +125,20 @@ let test_stats_percentile () =
   check_float "p100" 5.0 (Stats.percentile xs 100.0);
   check_float "p25" 2.0 (Stats.percentile xs 25.0)
 
+let test_stats_percentile_rejects_nan () =
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 3.0 |] 50.0));
+  Alcotest.check_raises "NaN p"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1.0; 2.0 |] Float.nan));
+  Alcotest.check_raises "NaN sample in cdf"
+    (Invalid_argument "Stats.cdf_points: NaN sample") (fun () ->
+      ignore (Stats.cdf_points [| Float.nan |] 4));
+  (* Negative zero and infinities still sort totally under Float.compare. *)
+  check_float "neg zero median" 0.0
+    (Stats.percentile [| -0.0; 0.0; Float.infinity; Float.neg_infinity; 0.0 |] 50.0)
+
 let test_stats_cv () =
   let xs = [| 2.0; 2.0; 2.0 |] in
   check_float "cv of constant" 0.0 (Stats.coefficient_of_variation xs)
@@ -160,6 +174,34 @@ let test_heap_peek () =
       Alcotest.(check string) "peek value" "a" v
   | None -> Alcotest.fail "expected peek");
   Alcotest.(check int) "length unchanged" 2 (Heap.length h)
+
+(* Allocate a large value in a helper so the only strong reference is
+   the one inside the heap. *)
+let weak_of_pushed action =
+  let w = Weak.create 1 in
+  let v = Array.make 4096 0 in
+  Weak.set w 0 (Some v);
+  let h = Heap.create () in
+  Heap.push h 1.0 v;
+  action h;
+  (h, w)
+
+let assert_collected name w =
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) name false (Weak.check w 0)
+
+let test_heap_pop_releases_value () =
+  let h, w = weak_of_pushed (fun h -> ignore (Heap.pop h)) in
+  assert_collected "popped value collectable" w;
+  Alcotest.(check bool) "heap still usable" true (Heap.is_empty h);
+  Heap.push h 2.0 [| 9 |];
+  Alcotest.(check int) "push after pop" 1 (Heap.length h)
+
+let test_heap_clear_releases_values () =
+  let h, w = weak_of_pushed Heap.clear in
+  assert_collected "cleared value collectable" w;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
 
 let test_pqueue_dijkstra_order () =
   let q = Pqueue.create 10 in
@@ -221,11 +263,14 @@ let suite =
     Alcotest.test_case "sample weighted" `Quick test_sample_weighted;
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats nan policy" `Quick test_stats_percentile_rejects_nan;
     Alcotest.test_case "stats cv" `Quick test_stats_cv;
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
     Alcotest.test_case "stats cdf" `Quick test_stats_cdf;
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
     Alcotest.test_case "heap peek" `Quick test_heap_peek;
+    Alcotest.test_case "heap pop releases" `Quick test_heap_pop_releases_value;
+    Alcotest.test_case "heap clear releases" `Quick test_heap_clear_releases_values;
     Alcotest.test_case "pqueue order" `Quick test_pqueue_dijkstra_order;
     Alcotest.test_case "pqueue duplicate" `Quick test_pqueue_duplicate_insert;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
